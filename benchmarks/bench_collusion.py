@@ -1,0 +1,48 @@
+"""Ablation A11 — coalition deviations (group strategyproofness).
+
+Theorem 3.1 is an individual guarantee; this bench measures the group
+picture on the Table 1 system: every pair of machines can profitably
+collude by jointly overbidding (each member's inflated bid raises the
+other's leave-one-out bonus), a classic VCG-family weakness the paper
+does not discuss.  The broker funds the coalition's gain through
+inflated payments while the allocation degrades.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.collusion import pairwise_collusion_scan
+from repro.experiments import render_table, table1_configuration
+from repro.mechanism import VerificationMechanism
+
+
+def test_pairwise_collusion(benchmark, record_result):
+    config = table1_configuration()
+    # One machine per speed group keeps the scan quick but representative.
+    t = config.cluster.true_values[[0, 2, 5, 10]]
+
+    scan = benchmark(
+        pairwise_collusion_scan, VerificationMechanism(), t, config.arrival_rate
+    )
+
+    assert all(d.profitable for d in scan)  # the A11 finding
+    assert scan[0].members == (0, 1)  # fastest pair gains most
+
+    rows = [
+        [
+            f"({d.members[0]}, {d.members[1]})",
+            d.truthful_joint_utility,
+            d.best_joint_utility,
+            d.gain,
+            f"({d.best_bids[0]:g}, {d.best_bids[1]:g})",
+        ]
+        for d in scan
+    ]
+    record_result(
+        "ablation_collusion",
+        render_table(
+            ["pair", "truthful joint U", "colluding joint U", "gain", "joint bids"],
+            rows,
+            title="A11. Pairwise collusion on one-machine-per-group subsystem "
+            "(t = 1, 2, 5, 10; R = 20).",
+        ),
+    )

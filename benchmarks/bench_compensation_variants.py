@@ -1,0 +1,50 @@
+"""Ablation A3 — observed vs declared compensation.
+
+The design choice DESIGN.md flags: Definition 3.3 compensates at the
+*observed* cost (truthful, Theorem 3.1); the variant matching the
+paper's Figure 2 prose compensates at the *declared* cost and is not
+truthful.  This bench runs the full deviation audit on both and records
+the best deviation each admits.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_table, table1_configuration
+from repro.mechanism import VerificationMechanism, truthfulness_audit
+
+
+def test_truthfulness_audit_both_variants(benchmark, record_result):
+    config = table1_configuration()
+    t = config.cluster.true_values[:8]  # audit grid is quadratic in size
+    rate = 10.0
+
+    observed_report = benchmark(
+        truthfulness_audit, VerificationMechanism("observed"), t, rate
+    )
+    declared_report = truthfulness_audit(
+        VerificationMechanism("declared"), t, rate
+    )
+
+    assert observed_report.is_truthful
+    assert not declared_report.is_truthful
+
+    worst = declared_report.worst()
+    rows = [
+        ["observed (Def 3.3)", observed_report.max_gain, "yes", "-", "-"],
+        [
+            "declared (Fig 2 prose)",
+            declared_report.max_gain,
+            "no",
+            f"bid {worst.best_bid:g} (true {t[worst.agent]:g})",
+            f"agent {worst.agent}",
+        ],
+    ]
+    record_result(
+        "ablation_compensation",
+        render_table(
+            ["compensation", "best deviation gain", "truthful", "worst deviation", "by"],
+            rows,
+            precision=4,
+            title="A3. Deviation audit: observed vs declared compensation.",
+        ),
+    )

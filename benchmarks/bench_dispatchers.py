@@ -1,0 +1,124 @@
+"""Ablation A17 — what the optimal allocation buys over naive dispatch.
+
+The paper assumes the PR allocation; this bench prices it against the
+dispatchers deployments actually use, on the Table 1 system (linear)
+and on an M/M/1 variant where the linear-model coincidences break.
+
+Two findings beyond the latency gaps: capacity-proportional dispatch
+equals the optimum *only* on the zero-intercept linear class (on M/M/1
+it is measurably suboptimal), and unweighted random dispatch is not
+even *feasible* on the heterogeneous M/M/1 system — random shares
+overload the slow machines — which is reported as such rather than as
+a latency number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import water_filling_allocation
+from repro.allocation.baselines import (
+    capacity_proportional_split,
+    equal_split,
+    greedy_marginal_split,
+    random_split,
+)
+from repro.experiments import render_table, table1_configuration
+from repro.latency import LinearLatencyModel, MM1LatencyModel
+
+UTILISATION = 0.25  # keeps the equal split feasible on the M/M/1 variant
+
+
+def _mm1_variant(config):
+    mu = (1.0 / config.cluster.true_values) * (
+        config.arrival_rate / UTILISATION / config.cluster.total_inverse
+    )
+    return MM1LatencyModel(mu)
+
+
+def _try_latency(dispatch, *args, **kwargs):
+    try:
+        return dispatch(*args, **kwargs).total_latency
+    except (ValueError, RuntimeError):
+        return None
+
+
+def test_dispatcher_comparison(benchmark, record_result):
+    config = table1_configuration()
+    linear = LinearLatencyModel(config.cluster.true_values)
+    rate = config.arrival_rate
+    mm1 = _mm1_variant(config)
+
+    optimum_linear = water_filling_allocation(linear, rate).total_latency
+    optimum_mm1 = water_filling_allocation(mm1, rate).total_latency
+
+    benchmark(greedy_marginal_split, linear, rate)
+
+    def random_mean(model):
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(50):
+            latency = _try_latency(random_split, model, rate, rng)
+            if latency is None:
+                return None
+            samples.append(latency)
+        return float(np.mean(samples))
+
+    def row(label, linear_latency, mm1_latency):
+        def cell(value, optimum):
+            if value is None:
+                return "infeasible", "-"
+            return value, f"{100 * (value / optimum - 1):.1f}"
+
+        lin, lin_gap = cell(linear_latency, optimum_linear)
+        que, que_gap = cell(mm1_latency, optimum_mm1)
+        return [label, lin, lin_gap, que, que_gap]
+
+    greedy_linear = greedy_marginal_split(linear, rate).total_latency
+    greedy_mm1 = greedy_marginal_split(mm1, rate).total_latency
+    proportional_linear = capacity_proportional_split(linear, rate).total_latency
+    proportional_mm1 = capacity_proportional_split(mm1, rate).total_latency
+    equal_linear = _try_latency(equal_split, linear, rate)
+    equal_mm1 = _try_latency(equal_split, mm1, rate)
+    random_linear = random_mean(linear)
+    random_mm1 = random_mean(mm1)
+
+    rows = [
+        row("optimal (water-filling)", optimum_linear, optimum_mm1),
+        row("greedy marginal (1000 chunks)", greedy_linear, greedy_mm1),
+        row("capacity-proportional", proportional_linear, proportional_mm1),
+        row("equal split (round robin)", equal_linear, equal_mm1),
+        row("random (mean of 50 draws)", random_linear, random_mm1),
+    ]
+
+    # Shape assertions.
+    assert proportional_linear == pytest.approx(optimum_linear)  # linear coincidence
+    assert proportional_mm1 > optimum_mm1 * 1.001                # breaks on M/M/1
+    assert equal_linear > optimum_linear * 1.3                   # round robin is bad
+    assert greedy_linear == pytest.approx(optimum_linear, rel=1e-3)
+    assert greedy_mm1 == pytest.approx(optimum_mm1, rel=1e-3)
+    assert random_mm1 is not None and random_mm1 > optimum_mm1 * 1.2
+
+    # At realistic utilisation the naive dispatchers stop being merely
+    # slow and become *infeasible*: their shares overload the slow
+    # machines.  The optimum (and greedy) still work fine.
+    loaded_mm1 = MM1LatencyModel(mm1.mu * UTILISATION / 0.6)  # 60% util
+    assert _try_latency(equal_split, loaded_mm1, rate) is None
+    assert (
+        _try_latency(random_split, loaded_mm1, rate, np.random.default_rng(1))
+        is None
+    )
+    assert water_filling_allocation(loaded_mm1, rate).loads.sum() == pytest.approx(rate)
+    rows.append(
+        ["equal/random at 60% util", "-", "-", "infeasible (overload)", "-"]
+    )
+
+    record_result(
+        "ablation_dispatchers",
+        render_table(
+            ["dispatcher", "L (linear)", "gap %", "L (M/M/1, 25% util)", "gap %"],
+            rows,
+            title="A17. Dispatch policies on Table 1 and its M/M/1 variant.",
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Ablation A10 — re-bid cadence under drifting machine speeds.
+
+The paper's mechanism is one-shot.  In deployment, machine speeds
+drift, and the operator must choose how often to re-run the bidding
+round: staleness cost (latency above the clairvoyant optimum) against
+control traffic (5n messages per round).  This bench maps the
+trade-off for both drift models on the Table 1 system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic import (
+    GeometricRandomWalkDrift,
+    RegimeSwitchDrift,
+    RepeatedMechanismSimulation,
+)
+from repro.experiments import render_table, table1_configuration
+
+EPOCHS = 400
+
+
+def _sweep(drift_factory) -> list[list[object]]:
+    config = table1_configuration()
+    rows = []
+    for period in (1, 2, 5, 10, 25, 50):
+        sim = RepeatedMechanismSimulation(
+            config.cluster.true_values,
+            config.arrival_rate,
+            drift_factory(),
+            rebid_period=period,
+        )
+        records = sim.run(EPOCHS)
+        rows.append(
+            [
+                period,
+                RepeatedMechanismSimulation.mean_staleness(records),
+                RepeatedMechanismSimulation.total_messages(records),
+            ]
+        )
+    return rows
+
+
+def test_random_walk_staleness(benchmark, record_result):
+    rows = benchmark(
+        _sweep, lambda: GeometricRandomWalkDrift(0.1, np.random.default_rng(1))
+    )
+
+    staleness = [row[1] for row in rows]
+    messages = [row[2] for row in rows]
+    assert staleness[0] == 1.0  # re-bidding every epoch is clairvoyant
+    assert staleness == sorted(staleness)  # longer periods, more staleness
+    assert messages == sorted(messages, reverse=True)
+
+    record_result(
+        "ablation_dynamic_walk",
+        render_table(
+            ["re-bid period", "mean staleness ratio", "control messages"],
+            rows,
+            precision=4,
+            title="A10a. Staleness vs traffic, 10% random-walk drift.",
+        ),
+    )
+
+
+def test_regime_switch_staleness(benchmark, record_result):
+    rows = benchmark(
+        _sweep,
+        lambda: RegimeSwitchDrift(0.1, np.random.default_rng(2), t_range=(1.0, 10.0)),
+    )
+
+    staleness = [row[1] for row in rows]
+    assert staleness[0] == 1.0
+    assert staleness[-1] > staleness[0]
+
+    record_result(
+        "ablation_dynamic_switch",
+        render_table(
+            ["re-bid period", "mean staleness ratio", "control messages"],
+            rows,
+            precision=4,
+            title="A10b. Staleness vs traffic, 10%/epoch regime switches.",
+        ),
+    )

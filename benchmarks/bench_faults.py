@@ -1,0 +1,122 @@
+"""Ablation A9 — protocol robustness under failures.
+
+Prices the reliability machinery: message overhead of at-least-once
+delivery as the link loss rate grows, and the behaviour of the
+timeout-tolerant coordinator when machines crash (exclusion keeps the
+round sound; unverifiable machines are not paid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import TruthfulAgent
+from repro.experiments import render_table
+from repro.mechanism import VerificationMechanism
+from repro.protocol import (
+    CrashingNode,
+    FaultTolerantCoordinator,
+    ProtocolPhase,
+    ReliableNetwork,
+)
+from repro.protocol.coordinator import COORDINATOR_NAME, MachineNode
+from repro.system import LinearLatencyMachine, Simulator
+
+TRUE_VALUES = np.array([1.0, 1.0, 2.0, 2.0, 5.0, 5.0, 10.0, 10.0])
+RATE = 8.0
+
+
+def _run_round(drop: float, seed: int, crash: dict[int, str] | None = None):
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    network = ReliableNetwork(sim, drop, rng)
+    names = [f"C{i+1}" for i in range(TRUE_VALUES.size)]
+    nodes = []
+    for i, (name, t) in enumerate(zip(names, TRUE_VALUES)):
+        node = MachineNode(
+            name=name,
+            agent=TruthfulAgent(t),
+            machine=LinearLatencyMachine(name, t, rng),
+            network=network,
+        )
+        if crash and i in crash:
+            node = CrashingNode(node, crash[i])
+        network.register(name, node.handle)
+        nodes.append(node)
+    coordinator = FaultTolerantCoordinator(
+        mechanism=VerificationMechanism(),
+        machine_names=names,
+        arrival_rate=RATE,
+        network=network,
+    )
+    network.register(COORDINATOR_NAME, coordinator.handle)
+
+    coordinator.start()
+    sim.run()
+    coordinator.close_bidding()
+    sim.run()
+    for node in nodes:
+        inner = node.inner if isinstance(node, CrashingNode) else node
+        if inner.name in coordinator.machine_names and not isinstance(
+            node, CrashingNode
+        ):
+            inner.machine.sojourn_times.append(0.5)
+            node.report_completion()
+    sim.run()
+    coordinator.close_reporting()
+    sim.run()
+    assert coordinator.phase is ProtocolPhase.DONE
+    return coordinator, network
+
+
+def test_loss_overhead(benchmark, record_result):
+    result = benchmark(_run_round, 0.2, 42)
+    coordinator, _network = result
+    assert coordinator.outcome is not None
+
+    rows = []
+    for drop in (0.0, 0.1, 0.3, 0.5):
+        _, network = _run_round(drop, seed=int(100 * drop) + 1)
+        payloads = network.delivered_payloads()
+        rows.append(
+            [f"{100 * drop:.0f}%", payloads, network.transmissions, network.dropped]
+        )
+        assert payloads == 5 * TRUE_VALUES.size  # exactly-once to the app
+    record_result(
+        "ablation_faults_loss",
+        render_table(
+            ["link loss", "payloads delivered", "transmissions", "dropped"],
+            rows,
+            title="A9a. At-least-once delivery overhead vs link loss (n = 8).",
+        ),
+    )
+
+
+def test_crash_exclusion(benchmark, record_result):
+    def run():
+        return _run_round(0.0, 7, crash={0: "immediately", 5: "after_bid"})
+
+    coordinator, _ = benchmark(run)
+    assert coordinator.excluded == ["C1"]
+    assert coordinator.withheld == ["C6"]
+    assert coordinator.outcome is not None
+    # The surviving allocation still carries the whole arrival rate.
+    assert coordinator.outcome.loads.sum() == pytest.approx(RATE)
+
+    rows = [
+        ["machines", TRUE_VALUES.size],
+        ["crashed before bidding (excluded)", ", ".join(coordinator.excluded)],
+        ["crashed after bidding (withheld)", ", ".join(coordinator.withheld)],
+        ["load still allocated", f"{coordinator.outcome.loads.sum():.2f}"],
+        ["realised latency (with imputation)",
+         f"{coordinator.outcome.realised_latency:.2f}"],
+    ]
+    record_result(
+        "ablation_faults_crash",
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="A9b. Crash handling: exclusion and withheld payments.",
+        ),
+    )

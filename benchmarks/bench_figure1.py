@@ -1,0 +1,35 @@
+"""Figure 1 — performance degradation: total latency per experiment.
+
+Paper shape to reproduce: True1 is the minimum (78.43); High2 < High3 <
+High1 < High4; Low1 ≈ +11%; Low2 ≈ +66% (the tallest bar).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure1_data, render_table
+
+
+def test_figure1(benchmark, record_result):
+    data = benchmark(figure1_data)
+
+    optimum = data["True1"]
+    assert optimum == pytest.approx(78.43, abs=0.005)
+    assert data["Low2"] / optimum - 1.0 == pytest.approx(0.66, abs=0.005)
+    assert data["Low1"] / optimum - 1.0 == pytest.approx(0.11, abs=0.005)
+    assert data["High2"] < data["High3"] < data["High1"] < data["High4"]
+    assert min(data.values()) == optimum
+
+    rows = [
+        [name, latency, 100.0 * (latency / optimum - 1.0)]
+        for name, latency in data.items()
+    ]
+    record_result(
+        "figure1",
+        render_table(
+            ["experiment", "total latency L", "degradation %"],
+            rows,
+            title="Figure 1. Performance degradation.",
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Figure 6 — payment structure of the mechanism.
+
+Paper shape to reproduce: under truthful play the total payment sits
+between 1x (the voluntary-participation floor) and ~2.5x the total
+valuation, per computer and in aggregate.  The per-scenario totals show
+how lying collapses aggregate payments (the penalty at work) — our
+measured complement to the paper's frugality discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    figure6_data,
+    figure6_truthful_structure,
+    render_table,
+    table1_configuration,
+)
+
+
+def test_figure6_truthful_structure(benchmark, record_result):
+    structure = benchmark(figure6_truthful_structure)
+    names = table1_configuration().cluster.names
+
+    assert np.all(structure["ratio"] >= 1.0)
+    assert np.all(structure["ratio"] <= 2.5)
+
+    rows = [
+        [names[i], structure["payment"][i], structure["valuation"][i], structure["ratio"][i]]
+        for i in range(len(names))
+    ]
+    record_result(
+        "figure6_truthful",
+        render_table(
+            ["computer", "payment", "|valuation|", "ratio"],
+            rows,
+            title="Figure 6. Payment structure per computer (True1).",
+        ),
+    )
+
+
+def test_figure6_by_scenario(benchmark, record_result):
+    data = benchmark(figure6_data)
+
+    true1 = data["True1"]
+    assert 1.0 <= true1["ratio"] <= 2.5
+    # Lying scenarios collapse aggregate payments (negative bonuses).
+    assert data["Low2"]["total_payment"] < data["True1"]["total_payment"]
+
+    rows = [
+        [name, row["total_payment"], row["total_valuation"], row["ratio"]]
+        for name, row in data.items()
+    ]
+    record_result(
+        "figure6_scenarios",
+        render_table(
+            ["experiment", "total payment", "total |valuation|", "ratio"],
+            rows,
+            title="Figure 6 (extended). Aggregate payment structure per experiment.",
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Figures 3–5 — per-computer payment and utility for True1, High1, Low1.
+
+Paper shape to reproduce: in Low1 every computer's utility drops below
+its True1 value (C1 by ~45%); in High1 C1 drops ~62% while every other
+computer's utility *rises* (they receive more jobs and larger payments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure345_data, render_table, table1_configuration
+
+
+@pytest.mark.parametrize(
+    "figure, scenario",
+    [("figure3", "True1"), ("figure4", "High1"), ("figure5", "Low1")],
+)
+def test_figures345(benchmark, record_result, figure, scenario):
+    data = benchmark(figure345_data, scenario)
+    names = table1_configuration().cluster.names
+
+    if scenario == "High1":
+        true1 = figure345_data("True1")
+        assert np.all(data["utility"][1:] > true1["utility"][1:])
+        drop = 1.0 - data["utility"][0] / true1["utility"][0]
+        assert drop == pytest.approx(0.62, abs=0.025)
+    if scenario == "Low1":
+        true1 = figure345_data("True1")
+        assert np.all(data["utility"][1:] < true1["utility"][1:])
+        drop = 1.0 - data["utility"][0] / true1["utility"][0]
+        assert drop == pytest.approx(0.45, abs=0.025)
+
+    rows = [
+        [names[i], data["payment"][i], data["utility"][i]]
+        for i in range(len(names))
+    ]
+    record_result(
+        figure,
+        render_table(
+            ["computer", "payment", "utility"],
+            rows,
+            title=f"Figure {figure[-1]}. Payment and utility per computer ({scenario}).",
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Ablation A16 — do the Section 4 findings generalise?
+
+Re-runs the paper's full scenario suite on 200 random configurations
+and reports the fraction where each qualitative claim holds —
+separating the theorem-backed claims (hold at 100% everywhere) from the
+configuration artefacts of the paper's single Table 1 system (the
+frugality <= 2.5x band in particular breaks on small, dominated
+systems).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.experiments.generalization import generalization_study
+
+
+def test_generalization(benchmark, record_result):
+    study = benchmark(
+        generalization_study,
+        np.random.default_rng(0),
+        n_configurations=200,
+    )
+    assert study.structural_claims_universal()
+
+    stress = generalization_study(
+        np.random.default_rng(1),
+        n_configurations=200,
+        n_machines_range=(2, 4),
+        t_range=(1.0, 100.0),
+    )
+    assert stress.structural_claims_universal()
+    assert stress.frugality_within_2_5 < study.frugality_within_2_5
+
+    rows = [
+        ["True1 is the latency minimum (Thm 2.1+3.1)",
+         study.true1_is_minimum, stress.true1_is_minimum],
+        ["C1 utility peaks at True1 (Thm 3.1)",
+         study.c1_utility_peaks_at_true1, stress.c1_utility_peaks_at_true1],
+        ["truthful utilities >= 0 (Thm 3.2)", study.vp_holds, stress.vp_holds],
+        ["High2 < High3 < High1 < High4",
+         study.high_ordering_holds, stress.high_ordering_holds],
+        ["Low2 is the worst experiment",
+         study.low2_is_worst, stress.low2_is_worst],
+        ["frugality ratio <= 2.5",
+         study.frugality_within_2_5, stress.frugality_within_2_5],
+        ["Low2 utility negative",
+         study.low2_utility_negative, stress.low2_utility_negative],
+    ]
+    record_result(
+        "ablation_generalization",
+        render_table(
+            ["claim", "Table-1-like configs", "small dominated configs"],
+            rows,
+            title="A16. Fraction of 200 random configurations where each "
+            "Section 4 claim holds.",
+        ),
+    )

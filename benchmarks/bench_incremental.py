@@ -1,0 +1,86 @@
+"""Ablation A15 — incremental vs from-scratch aggregate updates.
+
+Repeated settings (learning, dynamic rounds, best-response dynamics)
+change one bid per step and need the new optimum and bonus terms.  The
+incremental state answers those in O(1) per step; recomputing the sums
+from scratch is O(n).  This bench quantifies the gap at growing system
+sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import optimal_total_latency
+from repro.allocation.incremental import IncrementalPRState
+from repro.experiments import render_table
+
+STEPS = 2_000
+
+
+def _update_stream(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    bids = rng.uniform(0.5, 10.0, size=n)
+    indices = rng.integers(0, n, size=STEPS)
+    new_bids = rng.uniform(0.5, 10.0, size=STEPS)
+    return bids, indices, new_bids
+
+
+@pytest.mark.parametrize("n", [64, 1024])
+def test_incremental_path(benchmark, n):
+    bids, indices, new_bids = _update_stream(n)
+
+    def run():
+        state = IncrementalPRState(bids.copy(), 20.0)
+        total = 0.0
+        for i, b in zip(indices, new_bids):
+            state.update_bid(int(i), float(b))
+            total += state.optimal_latency()
+        return total
+
+    result = benchmark(run)
+    assert result > 0
+
+
+@pytest.mark.parametrize("n", [64, 1024])
+def test_scratch_path(benchmark, n):
+    bids, indices, new_bids = _update_stream(n)
+
+    def run():
+        current = bids.copy()
+        total = 0.0
+        for i, b in zip(indices, new_bids):
+            current[int(i)] = b
+            total += optimal_total_latency(current, 20.0)
+        return total
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_paths_agree(benchmark, record_result):
+    bids, indices, new_bids = _update_stream(256)
+    benchmark(lambda: IncrementalPRState(bids.copy(), 20.0).optimal_latency())
+    state = IncrementalPRState(bids.copy(), 20.0)
+    current = bids.copy()
+    incremental, scratch = [], []
+    for i, b in zip(indices, new_bids):
+        state.update_bid(int(i), float(b))
+        current[int(i)] = b
+        incremental.append(state.optimal_latency())
+        scratch.append(optimal_total_latency(current, 20.0))
+    np.testing.assert_allclose(incremental, scratch, rtol=1e-10)
+
+    record_result(
+        "ablation_incremental",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["update steps checked", STEPS],
+                ["max relative difference",
+                 f"{float(np.max(np.abs(np.array(incremental) / np.array(scratch) - 1))):.2e}"],
+            ],
+            title="A15. Incremental O(1) updates agree with from-scratch O(n).",
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Ablation A12 — online verification: the detector's operating curve.
+
+How quickly can the mechanism catch a machine executing slower than it
+bid, *during* the round rather than after it?  Measures the CUSUM
+detector's mean detection delay against the slowdown factor, and the
+false-alarm behaviour on honest machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import render_table
+from repro.protocol.monitoring import detection_delay
+
+
+def test_detection_operating_curve(benchmark, record_result):
+    def mean_delay(factor: float, seeds: int = 25) -> tuple[float, int]:
+        delays = [
+            detection_delay(1.0, factor, 2.0, np.random.default_rng(seed))
+            for seed in range(seeds)
+        ]
+        fired = [d for d in delays if d is not None]
+        mean = float(np.mean(fired)) if fired else float("nan")
+        return mean, len(fired)
+
+    benchmark(mean_delay, 2.0, 5)
+
+    rows = []
+    for factor in (1.0, 1.25, 1.5, 2.0, 3.0, 5.0):
+        mean, fired = mean_delay(factor)
+        rows.append(
+            [
+                f"{factor:g}x",
+                "never" if np.isnan(mean) else f"{mean:.0f}",
+                f"{fired}/25",
+            ]
+        )
+
+    # Honest machines (factor 1.0) must essentially never fire over the
+    # 100k-job horizon; big slowdowns must be caught within ~100 jobs.
+    assert rows[0][2] in ("0/25", "1/25")
+    big = float(rows[4][1])
+    assert big < 100
+
+    record_result(
+        "ablation_monitoring",
+        render_table(
+            ["slowdown", "mean jobs to detect", "detected"],
+            rows,
+            title="A12. Online slowdown detection (CUSUM, default calibration).",
+        ),
+    )

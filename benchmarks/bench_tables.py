@@ -1,0 +1,59 @@
+"""Tables 1 and 2: regenerate the configuration rows and time the
+closed-form machinery they drive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation import pr_allocation
+from repro.experiments import (
+    PAPER_SCENARIOS,
+    render_table,
+    table1_configuration,
+)
+
+
+def test_table1(benchmark, record_result):
+    """Table 1 — system configuration (and PR allocation timing on it)."""
+    config = table1_configuration()
+    result = benchmark(
+        pr_allocation, config.cluster.true_values, config.arrival_rate
+    )
+    np.testing.assert_allclose(result.loads.sum(), 20.0)
+
+    rows = [[machines, value] for machines, value in config.groups]
+    rows.append(["arrival rate R", config.arrival_rate])
+    record_result(
+        "table1",
+        render_table(["computers", "true value (t)"], rows, title="Table 1. System configuration."),
+    )
+
+
+def test_table2(benchmark, record_result):
+    """Table 2 — the eight experiment definitions."""
+    config = table1_configuration()
+
+    def build_all():
+        from repro.experiments.table2 import build_bid_and_execution_vectors
+
+        return [
+            build_bid_and_execution_vectors(config.cluster.true_values, s)
+            for s in PAPER_SCENARIOS
+        ]
+
+    vectors = benchmark(build_all)
+    assert len(vectors) == 8
+
+    rows = [
+        [s.name, f"{s.bid_factor:g} * t1", f"{s.execution_factor:g} * t1", s.characterization]
+        for s in PAPER_SCENARIOS
+    ]
+    record_result(
+        "table2",
+        render_table(
+            ["experiment", "bid b1", "execution t̃1", "characterization"],
+            rows,
+            title="Table 2. Types of experiments.",
+        ),
+    )

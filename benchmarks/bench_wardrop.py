@@ -1,0 +1,59 @@
+"""Ablation A7 — central dispatch vs selfish jobs (Wardrop).
+
+The paper's refs [1, 19] study the *selfish jobs* version of this
+system.  Measured findings recorded here:
+
+* for the paper's zero-intercept linear latencies the Wardrop
+  equilibrium coincides with the system optimum (price of anarchy = 1):
+  central dispatch adds nothing over selfish routing in this model, so
+  the mechanism's entire value is *information revelation* — getting
+  the true ``t_i`` out of the machines;
+* with affine latencies (fixed service offsets) the two separate, with
+  the classic 4/3 Pigou worst case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import price_of_anarchy
+from repro.experiments import render_table, table1_configuration
+from repro.latency import AffineLatencyModel, LinearLatencyModel
+
+
+def test_linear_poa_is_one(benchmark, record_result):
+    config = table1_configuration()
+    model = LinearLatencyModel(config.cluster.true_values)
+
+    result = benchmark(price_of_anarchy, model, config.arrival_rate)
+    assert result.price_of_anarchy == pytest.approx(1.0, abs=1e-9)
+
+    rows = [
+        ["paper Table 1 (linear)", result.equilibrium.total_latency,
+         result.optimum.total_latency, result.price_of_anarchy],
+    ]
+    pigou = price_of_anarchy(AffineLatencyModel([1.0, 0.0], [1e-9, 1.0]), 1.0)
+    rows.append(
+        ["Pigou (affine worst case)", pigou.equilibrium.total_latency,
+         pigou.optimum.total_latency, pigou.price_of_anarchy]
+    )
+    rng = np.random.default_rng(5)
+    affine = AffineLatencyModel(rng.uniform(0, 2, 8), rng.uniform(0.5, 2, 8))
+    mixed = price_of_anarchy(affine, 10.0)
+    rows.append(
+        ["random affine (8 machines)", mixed.equilibrium.total_latency,
+         mixed.optimum.total_latency, mixed.price_of_anarchy]
+    )
+    assert pigou.price_of_anarchy == pytest.approx(4.0 / 3.0, rel=1e-4)
+    assert 1.0 <= mixed.price_of_anarchy <= 4.0 / 3.0 + 1e-9
+
+    record_result(
+        "ablation_wardrop",
+        render_table(
+            ["instance", "selfish L", "optimal L*", "price of anarchy"],
+            rows,
+            precision=4,
+            title="A7. Selfish jobs vs central dispatch.",
+        ),
+    )

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates the rows of one paper table/figure (or one
+ablation) and records them under ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed with::
+
+    pytest benchmarks/ --benchmark-only
+
+The pytest-benchmark timing table doubles as the performance record for
+the closed-form mechanism (allocation + payments are microseconds even
+at thousands of machines).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Write a named result artefact (and echo it for ``-s`` runs)."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _record

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""End-to-end protocol simulation over the discrete-event substrate.
+
+The paper sketches the centralised protocol in prose; this example runs
+it for real: bids travel over a simulated network, a Poisson job stream
+is routed by the PR allocation, machines execute jobs at their chosen
+(possibly dishonest) speeds, the mechanism *estimates* each machine's
+execution value from observed completions — the verification step — and
+pays accordingly.
+
+The run mixes truthful machines with one slow executor and one
+underbidder, then compares the simulated round against the closed-form
+mechanism.
+
+Run with::
+
+    python examples/protocol_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ManipulativeAgent, TruthfulAgent, VerificationMechanism, paper_cluster
+from repro.experiments import render_table
+from repro.protocol import run_protocol
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    rate = 20.0
+    rng = np.random.default_rng(2003)
+
+    agents = [TruthfulAgent(t) for t in cluster.true_values]
+    # C1 underbids 2x and executes 2x slower (the Low2 manipulation);
+    # C6 bids honestly but secretly executes 50% slower.
+    agents[0] = ManipulativeAgent(1.0, bid_factor=0.5, execution_factor=2.0)
+    agents[5] = ManipulativeAgent(5.0, bid_factor=1.0, execution_factor=1.5)
+
+    result = run_protocol(agents, rate, duration=800.0, rng=rng)
+
+    print("== Protocol round on the Table 1 system ==")
+    print(f"jobs routed            : {result.jobs_routed}")
+    print(f"simulated time         : {result.simulated_time:.1f} s")
+    print(
+        f"control messages       : {result.network.total_messages} "
+        f"(= 5n for n={cluster.n_machines}; the paper's O(n) claim)"
+    )
+
+    # --- Verification: estimated vs actual execution values ---------------
+    rows = []
+    for i in (0, 1, 5, 6):
+        rows.append(
+            [
+                cluster.names[i],
+                agents[i].bid(),
+                result.true_execution_values[i],
+                result.estimated_execution_values[i],
+                100.0 * result.estimation_relative_error[i],
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["computer", "bid", "actual t̃", "estimated t̂", "error %"],
+            rows,
+            title="Verification: estimated execution values (selected machines)",
+        )
+    )
+
+    # --- Economics: simulated vs closed form ------------------------------
+    closed = VerificationMechanism().run(
+        np.array([a.bid() for a in agents]),
+        rate,
+        np.array([a.execution_value() for a in agents]),
+    )
+    rows = [
+        ["realised latency", closed.realised_latency, result.outcome.realised_latency],
+        ["C1 utility (liar)", float(closed.payments.utility[0]),
+         float(result.outcome.payments.utility[0])],
+        ["C6 utility (slow)", float(closed.payments.utility[5]),
+         float(result.outcome.payments.utility[5])],
+        ["C2 utility (honest)", float(closed.payments.utility[1]),
+         float(result.outcome.payments.utility[1])],
+    ]
+    print()
+    print(
+        render_table(
+            ["quantity", "closed form", "simulated"],
+            rows,
+            title="Simulated round vs closed-form mechanism",
+        )
+    )
+    print(
+        "\nBoth manipulators end up with lower utility than honesty would"
+        " have given them (truth-telling is dominant, Theorem 3.1)."
+        "\nNote the honest machines' utilities are negative here too: the"
+        " voluntary participation guarantee (Theorem 3.2) quantifies over"
+        " the other agents' *bids* but assumes they execute as declared —"
+        " hidden slowdowns by others inflate the realised latency and"
+        " depress every bonus.  See EXPERIMENTS.md, 'Limitations observed'."
+    )
+
+
+if __name__ == "__main__":
+    main()

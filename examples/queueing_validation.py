@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Validating the latency models against queue simulation.
+
+Section 2 of the paper justifies the linear model ``l(x) = t x`` as the
+M/G/1 expected waiting time under light load.  This example checks the
+whole chain empirically with the vectorised Lindley-recursion simulator:
+
+1. M/M/1 sojourn times match ``1/(mu - x)`` across utilisations;
+2. M/G/1 waiting times match Pollaczek–Khinchine for exponential and
+   deterministic service;
+3. at light load, the M/G/1 waiting time collapses onto the linear
+   model with slope ``t = E[S^2]/2`` — the paper's claim — and the
+   linearisation error grows as the load rises (quantifying where the
+   paper's model stops being a good description).
+
+Run with::
+
+    python examples/queueing_validation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MG1LatencyModel, MM1LatencyModel
+from repro.experiments import render_table
+from repro.system import simulate_mg1, simulate_mm1
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n_jobs = 400_000
+
+    # --- 1. M/M/1 ----------------------------------------------------------
+    mu = 2.0
+    rows = []
+    for rho in (0.2, 0.4, 0.6, 0.8):
+        x = rho * mu
+        stats = simulate_mm1(x, mu, n_jobs, rng)
+        predicted = MM1LatencyModel([mu]).per_job([x])[0]
+        rows.append([rho, predicted, stats.mean_sojourn,
+                     100 * abs(stats.mean_sojourn / predicted - 1)])
+    print(
+        render_table(
+            ["utilisation", "theory 1/(mu-x)", "simulated sojourn", "error %"],
+            rows,
+            precision=3,
+            title="M/M/1 sojourn time vs theory (mu = 2)",
+        )
+    )
+
+    # --- 2. M/G/1 (Pollaczek-Khinchine) ------------------------------------
+    rows = []
+    for label, service in (
+        ("exponential", rng.exponential(0.5, n_jobs)),
+        ("deterministic", np.full(n_jobs, 0.5)),
+        ("uniform", rng.uniform(0.0, 1.0, n_jobs)),
+    ):
+        x = 1.2
+        stats = simulate_mg1(x, service, rng)
+        es = float(service.mean())
+        es2 = float((service**2).mean())
+        predicted = MG1LatencyModel([es], [es2]).per_job([x])[0]
+        rows.append([label, predicted, stats.mean_wait,
+                     100 * abs(stats.mean_wait / predicted - 1)])
+    print()
+    print(
+        render_table(
+            ["service dist", "P-K waiting", "simulated waiting", "error %"],
+            rows,
+            precision=4,
+            title="M/G/1 waiting time vs Pollaczek-Khinchine (x = 1.2)",
+        )
+    )
+
+    # --- 3. The paper's light-load linearisation ---------------------------
+    mu = 2.0
+    model = MG1LatencyModel.exponential([mu])
+    linear = model.light_load_linearization()
+    rows = []
+    for x in (0.02, 0.1, 0.5, 1.0, 1.5):
+        service = rng.exponential(1.0 / mu, n_jobs)
+        stats = simulate_mg1(x, service, rng)
+        lin = linear.per_job([x])[0]
+        exact = model.per_job([x])[0]
+        rows.append([
+            x / mu, lin, exact, stats.mean_wait,
+            100 * abs(lin / exact - 1),
+        ])
+    print()
+    print(
+        render_table(
+            ["utilisation", "linear t*x", "exact M/G/1", "simulated", "linearisation error %"],
+            rows,
+            precision=4,
+            title="The paper's linear model vs M/G/1 (t = E[S^2]/2; good at light load)",
+        )
+    )
+    print(
+        "\nThe linear latency model is an accurate description below ~10%"
+        " utilisation and optimistic beyond — exactly the regime the"
+        " paper's Section 2 claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: run the load balancing mechanism with verification.
+
+Reproduces the paper's headline numbers on the Table 1 system in a few
+lines of the public API:
+
+* the PR allocation and the optimal total latency (Theorem 2.1),
+* the compensation-and-bonus payments (Definition 3.3),
+* what happens when one computer lies (the Low2 experiment).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ManipulativeAgent,
+    TruthfulAgent,
+    VerificationMechanism,
+    paper_cluster,
+)
+from repro.agents import profile_bids, profile_execution_values
+
+
+def main() -> None:
+    cluster = paper_cluster()
+    mechanism = VerificationMechanism()
+    arrival_rate = 20.0  # jobs per second, the paper's R
+
+    # --- Everyone truthful: the optimum of Theorem 2.1 -------------------
+    agents = [TruthfulAgent(t) for t in cluster.true_values]
+    outcome = mechanism.run(
+        profile_bids(agents),
+        arrival_rate,
+        profile_execution_values(agents),
+        true_values=cluster.true_values,
+    )
+    print("== All computers truthful (experiment True1) ==")
+    print(f"total latency L*        : {outcome.realised_latency:8.2f}   (paper: 78.43)")
+    print(f"frugality ratio         : {outcome.frugality_ratio:8.2f}   (paper: <= 2.5)")
+    print(f"min utility (VP floor)  : {outcome.payments.utility.min():8.2f}   (>= 0 by Theorem 3.2)")
+    print(f"fastest machine's load  : {outcome.loads[0]:8.2f} jobs/s")
+    print(f"slowest machine's load  : {outcome.loads[-1]:8.2f} jobs/s")
+
+    # --- C1 lies: underbids 2x and executes 2x slower (Low2) -------------
+    agents[0] = ManipulativeAgent(
+        cluster.true_values[0], bid_factor=0.5, execution_factor=2.0
+    )
+    lied = mechanism.run(
+        profile_bids(agents),
+        arrival_rate,
+        profile_execution_values(agents),
+        true_values=cluster.true_values,
+    )
+    increase = 100.0 * (lied.realised_latency / outcome.realised_latency - 1.0)
+    print("\n== C1 underbids 2x and executes 2x slower (experiment Low2) ==")
+    print(f"total latency           : {lied.realised_latency:8.2f}   (+{increase:.1f}%, paper: ~66%)")
+    print(f"C1 utility              : {lied.payments.utility[0]:8.2f}   (negative: lying is punished)")
+    print(f"C1 utility when truthful: {outcome.payments.utility[0]:8.2f}")
+
+    # --- Truthfulness, checked numerically --------------------------------
+    from repro import best_response
+
+    br = best_response(mechanism, cluster.true_values, arrival_rate, agent=0)
+    print("\n== Best response of C1 under the mechanism (Theorem 3.1) ==")
+    print(f"best bid                : {br.bid:.4f}  (true value {cluster.true_values[0]:g})")
+    print(f"best execution value    : {br.execution_value:.4f}")
+    print(f"gain over truth-telling : {br.gain:.2e}  (zero: truth is dominant)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on an offline machine without ``wheel`` cannot use
+the PEP 660 editable path; this shim lets pip fall back to the legacy
+``setup.py develop`` route (``pip install -e . --no-use-pep517``).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

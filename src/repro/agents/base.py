@@ -1,0 +1,48 @@
+"""Base class for strategic agents (machines)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro._validation import check_positive_scalar
+
+__all__ = ["Agent"]
+
+
+class Agent(ABC):
+    """A machine owner participating in the load balancing mechanism.
+
+    An agent is characterised by its private true value ``t`` (latency
+    slope, inversely proportional to processing rate) and chooses:
+
+    * a bid — the slope it declares to the mechanism, and
+    * an execution value — the slope it actually executes assigned jobs
+      at, constrained to ``t̃ >= t`` (it cannot run faster than its
+      hardware allows).
+    """
+
+    def __init__(self, true_value: float) -> None:
+        self.true_value = check_positive_scalar(true_value, "true_value")
+
+    @abstractmethod
+    def bid(self) -> float:
+        """The latency slope this agent declares to the mechanism."""
+
+    @abstractmethod
+    def execution_value(self) -> float:
+        """The latency slope this agent actually executes jobs at.
+
+        Implementations must return a value >= ``self.true_value``.
+        """
+
+    def _check_execution(self, value: float) -> float:
+        """Clamp-and-check helper enforcing the capacity constraint."""
+        if value < self.true_value:
+            raise ValueError(
+                f"execution value {value:g} below true value "
+                f"{self.true_value:g}: machines cannot beat their capacity"
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(true_value={self.true_value:g})"

@@ -1,0 +1,174 @@
+"""Numeric best response of a single agent under a given mechanism.
+
+For a truthful mechanism the best response is the truth (Theorem 3.1);
+for the non-truthful declared-compensation variant the optimiser finds
+the profitable overbid.  The optimiser combines a coarse log-spaced
+bid scan with a golden-section refinement; execution values are
+optimised over ``[t, exec_cap * t]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro._validation import (
+    as_float_array,
+    check_index,
+    check_positive,
+    check_positive_scalar,
+)
+from repro.mechanism.base import Mechanism
+
+__all__ = ["BestResponse", "best_response"]
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """Result of a single-agent best-response computation."""
+
+    agent: int
+    bid: float
+    execution_value: float
+    utility: float
+    truthful_utility: float
+
+    @property
+    def gain(self) -> float:
+        """Utility improvement over bidding/executing truthfully."""
+        return self.utility - self.truthful_utility
+
+    @property
+    def is_truthful(self) -> bool:
+        """Whether the best response coincides with truth-telling.
+
+        Judged by utility (gain below numerical noise) rather than by
+        the argmax, since flat regions can move the argmax harmlessly.
+        """
+        return self.gain <= 1e-7 * max(1.0, abs(self.truthful_utility))
+
+
+def _utility(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    agent: int,
+    bid: float,
+    execution: float,
+) -> float:
+    bids = true_values.copy()
+    bids[agent] = bid
+    execs = true_values.copy()
+    execs[agent] = execution
+    outcome = mechanism.run(bids, arrival_rate, execs, true_values=true_values)
+    return float(outcome.payments.utility[agent])
+
+
+def best_response(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    agent: int,
+    *,
+    other_bids: np.ndarray | None = None,
+    bid_bounds_factor: tuple[float, float] = (0.05, 20.0),
+    execution_cap_factor: float = 4.0,
+    scan_points: int = 48,
+) -> BestResponse:
+    """Best (bid, execution) pair for ``agent`` given the others' bids.
+
+    Parameters
+    ----------
+    mechanism:
+        The mechanism the agent plays against.
+    true_values:
+        True slopes of all agents; agent ``agent``'s entry is its own
+        private type.
+    arrival_rate:
+        Total rate ``R``.
+    other_bids:
+        Bids of the other agents.  Defaults to their true values
+        (everyone else truthful); pass a full-length vector whose
+        ``agent`` entry is ignored to study other profiles.
+    bid_bounds_factor:
+        Multiplicative search range for the bid around the true value.
+    execution_cap_factor:
+        Execution values are searched in ``[t, cap * t]``.
+    scan_points:
+        Size of the coarse log-spaced bid grid seeding the refinement.
+    """
+    true_values = as_float_array(true_values, "true_values")
+    check_positive(true_values, "true_values")
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    agent = check_index(agent, true_values.size, "agent")
+    if execution_cap_factor < 1.0:
+        raise ValueError("execution_cap_factor must be >= 1")
+
+    base = true_values.copy()
+    if other_bids is not None:
+        other_bids = as_float_array(other_bids, "other_bids")
+        check_positive(other_bids, "other_bids")
+        if other_bids.size != true_values.size:
+            raise ValueError("other_bids must have one entry per agent")
+        base = other_bids.copy()
+        base[agent] = true_values[agent]
+
+    t_i = true_values[agent]
+
+    def utility(bid: float, execution: float) -> float:
+        bids = base.copy()
+        bids[agent] = bid
+        execs = base.copy()
+        execs[agent] = execution
+        outcome = mechanism.run(
+            bids, arrival_rate, execs, true_values=None
+        )
+        return float(outcome.payments.utility[agent])
+
+    truthful = utility(t_i, t_i)
+
+    # For each candidate execution value, optimise the bid with a scan
+    # plus bounded scalar refinement; then optimise over the execution
+    # value the same way.  Utilities are smooth in both arguments, so
+    # this two-stage search is reliable at this problem size.
+    lo, hi = bid_bounds_factor
+    bid_grid = t_i * np.geomspace(lo, hi, scan_points)
+
+    def best_bid_for(execution: float) -> tuple[float, float]:
+        utilities = np.array([utility(b, execution) for b in bid_grid])
+        k = int(np.argmax(utilities))
+        lo_b = bid_grid[max(0, k - 1)]
+        hi_b = bid_grid[min(scan_points - 1, k + 1)]
+        res = optimize.minimize_scalar(
+            lambda b: -utility(b, execution),
+            bounds=(lo_b, hi_b),
+            method="bounded",
+            options={"xatol": 1e-10 * t_i},
+        )
+        return float(res.x), float(-res.fun)
+
+    exec_grid = t_i * np.linspace(1.0, execution_cap_factor, 8)
+    best = (-np.inf, t_i, t_i)
+    for e in exec_grid:
+        b, u = best_bid_for(float(e))
+        if u > best[0]:
+            best = (u, b, float(e))
+
+    # Refine the execution value around the best grid point.
+    _, b_star, e_star = best
+    res = optimize.minimize_scalar(
+        lambda e: -utility(b_star, e),
+        bounds=(t_i, execution_cap_factor * t_i),
+        method="bounded",
+        options={"xatol": 1e-10 * t_i},
+    )
+    if -res.fun > best[0]:
+        best = (float(-res.fun), b_star, float(res.x))
+    u_star, b_star, e_star = best
+
+    # Keep truth if the search did not strictly beat it (flat optimum).
+    if truthful >= u_star:
+        return BestResponse(agent, float(t_i), float(t_i), truthful, truthful)
+    return BestResponse(agent, b_star, e_star, u_star, truthful)

@@ -1,0 +1,127 @@
+"""Iterated best-response dynamics of the induced bidding game.
+
+Each round, agents (in index order) replace their bid with a best
+response to the current bids of the others.  Under a truthful mechanism
+the truthful profile is a fixed point reached immediately; under the
+non-truthful declared-compensation variant the dynamics drift away from
+the truth — the demonstration that verification-style payments are what
+keeps the system at the efficient allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import as_float_array, check_positive, check_positive_scalar
+from repro.agents.best_response import best_response
+from repro.mechanism.base import Mechanism
+
+__all__ = ["GameTrace", "BiddingGame"]
+
+
+@dataclass(frozen=True)
+class GameTrace:
+    """History of one iterated best-response run."""
+
+    bid_history: np.ndarray  # shape (rounds + 1, n): row 0 is the start profile
+    converged: bool
+    rounds: int
+
+    @property
+    def final_bids(self) -> np.ndarray:
+        """Bid profile after the last round."""
+        return self.bid_history[-1]
+
+    def max_drift_from(self, reference: np.ndarray) -> float:
+        """Largest relative distance of the final bids from ``reference``."""
+        reference = np.asarray(reference, dtype=np.float64)
+        return float(np.max(np.abs(self.final_bids - reference) / reference))
+
+
+@dataclass
+class BiddingGame:
+    """Simultaneous-bid game induced by a mechanism on fixed true values.
+
+    Parameters
+    ----------
+    mechanism:
+        Mechanism mapping bids (and executions) to payments.
+    true_values:
+        Agents' private types.
+    arrival_rate:
+        Total rate ``R``.
+    honest_execution:
+        When true (default), agents always execute at capacity and only
+        optimise their bids; the full two-dimensional deviation is
+        covered by :func:`repro.agents.best_response.best_response`.
+    """
+
+    mechanism: Mechanism
+    true_values: np.ndarray
+    arrival_rate: float
+    honest_execution: bool = True
+    _tolerance: float = field(default=1e-6, repr=False)
+
+    def __post_init__(self) -> None:
+        self.true_values = as_float_array(self.true_values, "true_values")
+        check_positive(self.true_values, "true_values")
+        self.arrival_rate = check_positive_scalar(self.arrival_rate, "arrival_rate")
+
+    def run(
+        self,
+        start_bids: np.ndarray | None = None,
+        max_rounds: int = 20,
+    ) -> GameTrace:
+        """Iterate best responses until bids stop moving or rounds run out."""
+        n = self.true_values.size
+        bids = (
+            self.true_values.copy()
+            if start_bids is None
+            else as_float_array(start_bids, "start_bids").copy()
+        )
+        if bids.size != n:
+            raise ValueError("start_bids must have one entry per agent")
+        check_positive(bids, "start_bids")
+
+        exec_cap = 1.0 if self.honest_execution else 4.0
+        history = [bids.copy()]
+        converged = False
+        for _ in range(max_rounds):
+            previous = bids.copy()
+            for agent in range(n):
+                br = best_response(
+                    self.mechanism,
+                    self.true_values,
+                    self.arrival_rate,
+                    agent,
+                    other_bids=bids,
+                    execution_cap_factor=exec_cap,
+                )
+                bids[agent] = br.bid
+            history.append(bids.copy())
+            if np.max(np.abs(bids - previous) / previous) < self._tolerance:
+                converged = True
+                break
+
+        return GameTrace(
+            bid_history=np.array(history),
+            converged=converged,
+            rounds=len(history) - 1,
+        )
+
+    def truthful_is_equilibrium(self) -> bool:
+        """Whether no agent gains by deviating from the all-truthful profile."""
+        exec_cap = 1.0 if self.honest_execution else 4.0
+        for agent in range(self.true_values.size):
+            br = best_response(
+                self.mechanism,
+                self.true_values,
+                self.arrival_rate,
+                agent,
+                execution_cap_factor=exec_cap,
+            )
+            if not br.is_truthful:
+                return False
+        return True

@@ -1,0 +1,44 @@
+"""Optimal load allocation algorithms.
+
+* :func:`pr_allocation` — the paper's PR algorithm (Theorem 2.1): the
+  closed-form optimal split for linear latency functions, proportional
+  to processing rates.
+* :func:`water_filling_allocation` — a general convex allocator for any
+  :class:`~repro.latency.LatencyModel` via KKT water-filling; reduces to
+  the PR solution on linear models and also solves the M/M/1 and M/G/1
+  substrates.
+* :func:`scipy_allocation` — an independent SLSQP-based reference solver
+  used to cross-check the analytic allocators in tests.
+"""
+
+from repro.allocation.pr import (
+    pr_allocation,
+    pr_loads,
+    optimal_total_latency,
+    optimal_latency_excluding_each,
+    optimal_latency_without,
+)
+from repro.allocation.kkt import water_filling_allocation
+from repro.allocation.reference import scipy_allocation
+from repro.allocation.incremental import IncrementalPRState
+from repro.allocation.baselines import (
+    equal_split,
+    capacity_proportional_split,
+    random_split,
+    greedy_marginal_split,
+)
+
+__all__ = [
+    "pr_allocation",
+    "pr_loads",
+    "optimal_total_latency",
+    "optimal_latency_excluding_each",
+    "optimal_latency_without",
+    "water_filling_allocation",
+    "scipy_allocation",
+    "IncrementalPRState",
+    "equal_split",
+    "capacity_proportional_split",
+    "random_split",
+    "greedy_marginal_split",
+]

@@ -1,0 +1,145 @@
+"""Naive dispatching baselines: what does the optimal allocation buy?
+
+The paper takes the PR allocation as given; a practitioner's first
+question is how much it improves on the dispatchers people actually
+deploy.  This module implements the classic naive policies on the same
+interface so `bench_dispatchers.py` can price the gap:
+
+* :func:`equal_split` — round-robin in the fluid limit: every machine
+  gets ``R/n`` regardless of speed;
+* :func:`capacity_proportional_split` — split proportional to the
+  processing rates ``1/t`` (equals the PR optimum for linear latencies
+  — a coincidence of this latency class, *not* of M/M/1 etc.);
+* :func:`random_split` — a Dirichlet-random feasible allocation
+  (the "no policy at all" floor);
+* :func:`greedy_marginal_split` — dispatch the stream in small chunks,
+  each to the machine with the lowest marginal total latency; converges
+  to the water-filling optimum as the chunk size shrinks (tested), and
+  is the natural *online* implementation of the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_scalar
+from repro.latency.base import LatencyModel
+from repro.types import AllocationResult
+
+__all__ = [
+    "equal_split",
+    "capacity_proportional_split",
+    "random_split",
+    "greedy_marginal_split",
+]
+
+
+def _package(model: LatencyModel, loads: np.ndarray, rate: float) -> AllocationResult:
+    return AllocationResult(
+        loads=loads,
+        arrival_rate=rate,
+        bids=loads,  # baselines carry no declared parameters
+        total_latency=model.total_latency(loads),
+    )
+
+
+def equal_split(model: LatencyModel, arrival_rate: float) -> AllocationResult:
+    """Round-robin fluid limit: ``R/n`` to every machine.
+
+    Raises if any machine's capacity cannot absorb its equal share
+    (the failure mode that makes round-robin dangerous on
+    heterogeneous queueing systems).
+    """
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    n = model.n_machines
+    loads = np.full(n, arrival_rate / n)
+    cap = model.load_capacity()
+    if np.any(loads >= cap):
+        worst = int(np.argmax(loads / cap))
+        raise ValueError(
+            f"equal split overloads machine {worst}: share "
+            f"{loads[worst]:g} >= capacity {cap[worst]:g}"
+        )
+    return _package(model, loads, arrival_rate)
+
+
+def capacity_proportional_split(
+    model: LatencyModel, arrival_rate: float
+) -> AllocationResult:
+    """Split proportional to each machine's capacity/speed.
+
+    Uses ``1/t`` for linear/affine models (via their slopes) and ``mu``
+    for capacity-bounded queueing models.
+    """
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    cap = model.load_capacity()
+    if np.all(np.isfinite(cap)):
+        weights = cap
+    else:
+        slopes = getattr(model, "t", None)
+        if slopes is None:
+            slopes = getattr(model, "slope", None)
+        if slopes is None:
+            raise TypeError(
+                "capacity_proportional_split needs finite capacities or a "
+                "slope attribute"
+            )
+        weights = 1.0 / np.asarray(slopes, dtype=np.float64)
+    loads = arrival_rate * weights / float(weights.sum())
+    return _package(model, loads, arrival_rate)
+
+
+def random_split(
+    model: LatencyModel,
+    arrival_rate: float,
+    rng: np.random.Generator,
+    *,
+    concentration: float = 1.0,
+) -> AllocationResult:
+    """A Dirichlet-random feasible allocation (the no-policy floor).
+
+    Redraws (up to 1000 times) until the allocation respects finite
+    capacities; raises if the system is too loaded for random dispatch
+    to ever be feasible in that budget.
+    """
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    check_positive_scalar(concentration, "concentration")
+    n = model.n_machines
+    cap = model.load_capacity()
+    for _ in range(1000):
+        loads = rng.dirichlet(np.full(n, concentration)) * arrival_rate
+        if np.all(loads < cap):
+            return _package(model, loads, arrival_rate)
+    raise RuntimeError("could not draw a capacity-feasible random allocation")
+
+
+def greedy_marginal_split(
+    model: LatencyModel,
+    arrival_rate: float,
+    *,
+    n_chunks: int = 1000,
+) -> AllocationResult:
+    """Online greedy: send each chunk to the lowest-marginal machine.
+
+    The marginal total latency is increasing per machine, so the greedy
+    water level rises uniformly and the final allocation converges to
+    the water-filling optimum as ``n_chunks`` grows — this is the
+    dispatcher a deployment would actually run, and its gap to the
+    offline optimum is O(chunk size).
+    """
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be at least 1")
+    n = model.n_machines
+    cap = model.load_capacity()
+    chunk = arrival_rate / n_chunks
+    loads = np.zeros(n)
+    for _ in range(n_chunks):
+        marginals = model.marginal(loads)
+        # Never push a machine to (or past) its capacity.
+        feasible = loads + chunk < cap
+        if not np.any(feasible):
+            raise ValueError("no machine can absorb the next chunk")
+        marginals = np.where(feasible, marginals, np.inf)
+        loads[int(np.argmin(marginals))] += chunk
+    return _package(model, loads, arrival_rate)

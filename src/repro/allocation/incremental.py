@@ -1,0 +1,137 @@
+"""Incremental PR state: O(1) updates when one bid changes.
+
+The repeated settings (dynamic rounds, best-response dynamics, learning
+agents) re-run the mechanism after changing *one* machine's bid.  All
+the closed forms depend on the bids only through ``S = sum 1/b_j``, so
+a single-bid change is a rank-1 update:
+
+* ``S' = S - 1/b_old + 1/b_new``                    (O(1))
+* ``L*' = R^2 / S'``                                 (O(1))
+* ``L_{-i}' = R^2 / (S' - 1/b_i)``                   (O(1) per query)
+* any individual load ``x_i = R (1/b_i) / S``        (O(1) per query)
+
+This class maintains that state with add/remove/update operations and
+serves the aggregate queries without touching the other ``n-1``
+machines.  Equivalence with the from-scratch formulas is enforced by
+property tests; the speedup (O(1) vs O(n) per step for aggregate
+queries) is measured in ``bench_incremental.py``.
+
+Numerical note: repeated add/subtract on ``S`` accumulates rounding at
+~1 ulp per operation.  :meth:`refresh` recomputes ``S`` exactly; the
+class also refreshes itself automatically every ``refresh_every``
+updates, keeping drift below measurable levels (tested at 10^5
+updates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_index,
+    check_positive_scalar,
+)
+
+__all__ = ["IncrementalPRState"]
+
+
+class IncrementalPRState:
+    """Mutable PR-allocation state over a changing bid vector."""
+
+    def __init__(
+        self,
+        bids: np.ndarray,
+        arrival_rate: float,
+        *,
+        refresh_every: int = 4096,
+    ) -> None:
+        bids = np.array(bids, dtype=np.float64)
+        if bids.ndim != 1 or bids.size == 0:
+            raise ValueError("bids must be a non-empty 1-D array")
+        if np.any(bids <= 0.0) or not np.all(np.isfinite(bids)):
+            raise ValueError("bids must be strictly positive and finite")
+        self._bids = bids
+        self.arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be at least 1")
+        self._refresh_every = int(refresh_every)
+        self._updates_since_refresh = 0
+        self._total_inverse = float(np.sum(1.0 / bids))
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def n_machines(self) -> int:
+        """Current number of machines."""
+        return int(self._bids.size)
+
+    @property
+    def bids(self) -> np.ndarray:
+        """A copy of the current bid vector."""
+        return self._bids.copy()
+
+    @property
+    def total_inverse(self) -> float:
+        """``S = sum 1/b_j`` (maintained incrementally)."""
+        return self._total_inverse
+
+    def optimal_latency(self) -> float:
+        """``L* = R^2 / S`` at the current bids (O(1))."""
+        return self.arrival_rate**2 / self._total_inverse
+
+    def load_of(self, index: int) -> float:
+        """Machine ``index``'s PR load at the current bids (O(1))."""
+        index = check_index(index, self._bids.size, "index")
+        return (
+            self.arrival_rate * (1.0 / self._bids[index]) / self._total_inverse
+        )
+
+    def loads(self) -> np.ndarray:
+        """The full PR load vector (O(n), provided for convenience)."""
+        inv = 1.0 / self._bids
+        return self.arrival_rate * inv / self._total_inverse
+
+    def latency_without(self, index: int) -> float:
+        """``L_{-i} = R^2 / (S - 1/b_i)`` — the bonus term (O(1))."""
+        index = check_index(index, self._bids.size, "index")
+        if self._bids.size < 2:
+            raise ValueError("leave-one-out latency requires at least two machines")
+        remaining = self._total_inverse - 1.0 / self._bids[index]
+        return self.arrival_rate**2 / remaining
+
+    # ------------------------------------------------------------ updates
+
+    def update_bid(self, index: int, new_bid: float) -> None:
+        """Change one machine's bid: O(1) state update."""
+        index = check_index(index, self._bids.size, "index")
+        new_bid = check_positive_scalar(new_bid, "new_bid")
+        self._total_inverse += 1.0 / new_bid - 1.0 / self._bids[index]
+        self._bids[index] = new_bid
+        self._tick()
+
+    def add_machine(self, bid: float) -> int:
+        """Add a machine; returns its index."""
+        bid = check_positive_scalar(bid, "bid")
+        self._bids = np.append(self._bids, bid)
+        self._total_inverse += 1.0 / bid
+        self._tick()
+        return self._bids.size - 1
+
+    def remove_machine(self, index: int) -> None:
+        """Remove a machine (the remaining indices shift down)."""
+        index = check_index(index, self._bids.size, "index")
+        if self._bids.size == 1:
+            raise ValueError("cannot remove the last machine")
+        self._total_inverse -= 1.0 / self._bids[index]
+        self._bids = np.delete(self._bids, index)
+        self._tick()
+
+    def refresh(self) -> None:
+        """Recompute ``S`` from scratch, discarding rounding drift."""
+        self._total_inverse = float(np.sum(1.0 / self._bids))
+        self._updates_since_refresh = 0
+
+    def _tick(self) -> None:
+        self._updates_since_refresh += 1
+        if self._updates_since_refresh >= self._refresh_every:
+            self.refresh()

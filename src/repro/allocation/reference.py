@@ -1,0 +1,92 @@
+"""Independent reference allocator based on :mod:`scipy.optimize`.
+
+This solver exists purely to cross-check the analytic allocators
+(:func:`repro.allocation.pr_allocation` and
+:func:`repro.allocation.water_filling_allocation`) in the test suite.
+It is orders of magnitude slower and should never be used on a hot
+path; the benchmarks quantify the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro._validation import check_positive_scalar
+from repro.latency.base import LatencyModel
+from repro.types import AllocationResult
+
+__all__ = ["scipy_allocation"]
+
+
+def scipy_allocation(
+    model: LatencyModel,
+    arrival_rate: float,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-12,
+) -> AllocationResult:
+    """Minimise the total latency with SLSQP under the feasibility constraints.
+
+    Parameters
+    ----------
+    model:
+        Latency model to optimise over.
+    arrival_rate:
+        Total rate ``R``.
+    x0:
+        Optional starting point; defaults to the equal split (scaled
+        into the interior of any finite capacities).
+    tol:
+        SLSQP convergence tolerance.
+    """
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    n = model.n_machines
+    cap = model.load_capacity()
+
+    if x0 is None:
+        x0 = np.full(n, arrival_rate / n)
+        finite = np.isfinite(cap)
+        if np.any(finite):
+            # Keep the start strictly inside finite capacities by
+            # shifting surplus onto unconstrained machines if possible,
+            # otherwise scaling proportionally to capacity.
+            if np.any(x0[finite] >= cap[finite]):
+                x0 = np.where(finite, 0.9 * cap, x0)
+                slack = arrival_rate - float(x0.sum())
+                if slack > 0 and np.any(~finite):
+                    x0[~finite] += slack / max(1, int(np.sum(~finite)))
+                elif slack != 0:
+                    x0 *= arrival_rate / float(x0.sum())
+
+    def objective(x: np.ndarray) -> float:
+        # Clip into the open feasible region; SLSQP may probe the boundary.
+        eps = 1e-12
+        safe = np.clip(x, 0.0, np.where(np.isfinite(cap), cap * (1 - 1e-9), np.inf))
+        return model.total_latency(np.maximum(safe, eps * 0))
+
+    bounds = [
+        (0.0, c * (1 - 1e-9) if np.isfinite(c) else None) for c in cap
+    ]
+    constraints = [{"type": "eq", "fun": lambda x: float(np.sum(x)) - arrival_rate}]
+
+    result = optimize.minimize(
+        objective,
+        x0,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        tol=tol,
+        options={"maxiter": 500},
+    )
+    if not result.success:  # pragma: no cover - SLSQP is reliable here
+        raise RuntimeError(f"SLSQP failed to converge: {result.message}")
+
+    loads = np.maximum(result.x, 0.0)
+    loads *= arrival_rate / float(loads.sum())
+    return AllocationResult(
+        loads=loads,
+        arrival_rate=arrival_rate,
+        bids=loads,
+        total_latency=model.total_latency(loads),
+    )

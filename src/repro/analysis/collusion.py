@@ -1,0 +1,148 @@
+"""Coalition deviations: is the mechanism group-strategyproof?
+
+Theorems 3.1/3.2 are *individual* guarantees.  VCG-family mechanisms
+are famously vulnerable to coalitions: two agents can misreport jointly
+so that their combined utility (allowing internal side payments)
+exceeds their combined truthful utility, even though neither could gain
+alone.  This module scans pairwise coalitions over a bid-factor grid
+and reports the best joint deviation — making the boundary of the
+paper's guarantee measurable (A11 in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro._validation import (
+    as_float_array,
+    check_positive,
+    check_positive_scalar,
+)
+from repro.mechanism.base import Mechanism
+
+__all__ = ["CoalitionDeviation", "best_pair_deviation", "pairwise_collusion_scan"]
+
+
+@dataclass(frozen=True)
+class CoalitionDeviation:
+    """Most profitable joint misreport found for one coalition."""
+
+    members: tuple[int, ...]
+    truthful_joint_utility: float
+    best_joint_utility: float
+    best_bids: tuple[float, ...]
+
+    @property
+    def gain(self) -> float:
+        """Joint utility improvement (transferable via side payments)."""
+        return self.best_joint_utility - self.truthful_joint_utility
+
+    @property
+    def profitable(self) -> bool:
+        """Whether the coalition strictly beats joint truth-telling."""
+        return self.gain > 1e-7 * max(1.0, abs(self.truthful_joint_utility))
+
+
+def _joint_utility(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    members: tuple[int, ...],
+    member_bids: tuple[float, ...],
+) -> float:
+    bids = true_values.copy()
+    for agent, bid in zip(members, member_bids):
+        bids[agent] = bid
+    executions = true_values.copy()  # colluders still execute at capacity
+    outcome = mechanism.run(bids, arrival_rate, executions)
+    return float(sum(outcome.payments.utility[list(members)]))
+
+
+def best_pair_deviation(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    pair: tuple[int, int],
+    bid_factors: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0),
+) -> CoalitionDeviation:
+    """Scan a joint bid grid for one pair of agents.
+
+    Both members bid a grid point times their true value; everyone else
+    is truthful; executions stay at capacity (execution manipulation is
+    individually dominated and only hurts a coalition further).
+    """
+    true_values = as_float_array(true_values, "true_values")
+    check_positive(true_values, "true_values")
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    i, j = pair
+    if i == j:
+        raise ValueError("a coalition needs two distinct members")
+
+    truthful = _joint_utility(
+        mechanism, true_values, arrival_rate, (i, j),
+        (float(true_values[i]), float(true_values[j])),
+    )
+
+    # Fast path: evaluate the whole joint grid as one vectorised batch
+    # when the mechanism is the closed-form verification mechanism.
+    from repro.mechanism.compensation_bonus import VerificationMechanism
+
+    grid = np.asarray(bid_factors, dtype=np.float64)
+    if isinstance(mechanism, VerificationMechanism):
+        from repro.mechanism.batch import batch_run
+
+        fi, fj = np.meshgrid(grid, grid, indexing="ij")
+        k = fi.size
+        bids = np.tile(true_values, (k, 1))
+        bids[:, i] = fi.ravel() * true_values[i]
+        bids[:, j] = fj.ravel() * true_values[j]
+        executions = np.tile(true_values, (k, 1))
+        outcome = batch_run(
+            bids, arrival_rate, executions,
+            compensation=mechanism.compensation_mode,
+        )
+        joint = outcome.utility[:, i] + outcome.utility[:, j]
+        best_index = int(np.argmax(joint))
+        best = (
+            float(joint[best_index]),
+            (float(bids[best_index, i]), float(bids[best_index, j])),
+        )
+    else:
+        best = (truthful, (float(true_values[i]), float(true_values[j])))
+        for fi in grid:
+            for fj in grid:
+                pair_bids = (float(fi * true_values[i]), float(fj * true_values[j]))
+                joint = _joint_utility(
+                    mechanism, true_values, arrival_rate, (i, j), pair_bids
+                )
+                if joint > best[0]:
+                    best = (joint, pair_bids)
+
+    if truthful >= best[0]:
+        best = (truthful, (float(true_values[i]), float(true_values[j])))
+
+    return CoalitionDeviation(
+        members=(i, j),
+        truthful_joint_utility=truthful,
+        best_joint_utility=best[0],
+        best_bids=best[1],
+    )
+
+
+def pairwise_collusion_scan(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    bid_factors: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0),
+) -> list[CoalitionDeviation]:
+    """Best joint deviation for every pair, sorted by gain (descending)."""
+    true_values = as_float_array(true_values, "true_values")
+    results = [
+        best_pair_deviation(mechanism, true_values, arrival_rate, pair, bid_factors)
+        for pair in combinations(range(true_values.size), 2)
+    ]
+    results.sort(key=lambda d: d.gain, reverse=True)
+    return results

@@ -1,0 +1,388 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Installed as the ``repro`` console script (also ``python -m repro``)::
+
+    repro table1                # Table 1 system configuration
+    repro table2                # Table 2 experiment definitions
+    repro figure 1              # Figure 1 rows (also 2..6)
+    repro audit --variant declared
+    repro protocol --duration 300 --liar low2
+    repro multi-liar --max-liars 8
+    repro poa --intercepts 1,0 --slopes 0.000001,1 --rate 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments import render_table, table1_configuration
+
+    config = table1_configuration()
+    rows = [[machines, value] for machines, value in config.groups]
+    rows.append(["arrival rate R", config.arrival_rate])
+    return render_table(
+        ["computers", "true value (t)"], rows, title="Table 1. System configuration."
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.experiments import PAPER_SCENARIOS, render_table
+
+    rows = [
+        [s.name, f"{s.bid_factor:g}*t1", f"{s.execution_factor:g}*t1", s.characterization]
+        for s in PAPER_SCENARIOS
+    ]
+    return render_table(
+        ["experiment", "bid", "execution", "characterization"],
+        rows,
+        title="Table 2. Types of experiments.",
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    from repro.experiments import (
+        figure1_data,
+        figure2_data,
+        figure345_data,
+        figure6_data,
+        render_table,
+        table1_configuration,
+    )
+
+    number = args.number
+    if number == 1:
+        data = figure1_data()
+        optimum = data["True1"]
+        rows = [[k, v, 100 * (v / optimum - 1)] for k, v in data.items()]
+        return render_table(
+            ["experiment", "total latency", "degradation %"],
+            rows,
+            title="Figure 1. Performance degradation.",
+        )
+    if number == 2:
+        data = figure2_data()
+        rows = [[k, p, u] for k, (p, u) in data.items()]
+        return render_table(
+            ["experiment", "C1 payment", "C1 utility"],
+            rows,
+            title="Figure 2. Payment and utility for computer C1.",
+        )
+    if number in (3, 4, 5):
+        scenario = {3: "True1", 4: "High1", 5: "Low1"}[number]
+        data = figure345_data(scenario)
+        names = table1_configuration().cluster.names
+        rows = [
+            [names[i], data["payment"][i], data["utility"][i]]
+            for i in range(len(names))
+        ]
+        return render_table(
+            ["computer", "payment", "utility"],
+            rows,
+            title=f"Figure {number}. Payment and utility per computer ({scenario}).",
+        )
+    if number == 6:
+        data = figure6_data()
+        rows = [
+            [k, row["total_payment"], row["total_valuation"], row["ratio"]]
+            for k, row in data.items()
+        ]
+        return render_table(
+            ["experiment", "total payment", "total |valuation|", "ratio"],
+            rows,
+            title="Figure 6. Payment structure.",
+        )
+    raise SystemExit(f"unknown figure number {number}; expected 1..6")
+
+
+_VARIANTS = ("observed", "declared", "vcg", "archer-tardos")
+
+
+def _mechanism_for(variant: str):
+    from repro.mechanism import (
+        ArcherTardosMechanism,
+        VCGMechanism,
+        VerificationMechanism,
+    )
+
+    if variant in ("observed", "declared"):
+        return VerificationMechanism(variant)
+    if variant == "vcg":
+        return VCGMechanism()
+    return ArcherTardosMechanism()
+
+
+def _cluster_values(config_path: str | None):
+    "'True values from a cluster config file, or the paper's Table 1.'"
+    if config_path is None:
+        from repro.experiments import table1_configuration
+
+        return table1_configuration().cluster.true_values
+    from repro.system.configio import load_cluster
+
+    return load_cluster(config_path).true_values
+
+
+def _cmd_audit(args: argparse.Namespace) -> str:
+    from repro.experiments import render_table
+    from repro.mechanism import truthfulness_audit, voluntary_participation_margin
+
+    mechanism = _mechanism_for(args.variant)
+    t = _cluster_values(args.config)[: args.machines]
+    exec_factors = (1.0,) if not mechanism.uses_verification else (1.0, 1.5, 2.0, 3.0)
+    report = truthfulness_audit(mechanism, t, args.rate, exec_factors=exec_factors)
+    margin = voluntary_participation_margin(mechanism, t, args.rate)
+
+    worst = report.worst()
+    rows = [
+        ["truthful", "yes" if report.is_truthful else "NO"],
+        ["max deviation gain", f"{report.max_gain:.6g}"],
+        ["worst deviating agent", worst.agent],
+        ["its best bid", f"{worst.best_bid:.4g} (true {t[worst.agent]:g})"],
+        ["VP margin (min truthful utility)", f"{margin:.6g}"],
+    ]
+    return render_table(
+        ["property", "value"],
+        rows,
+        title=f"Truthfulness audit: {args.variant} mechanism, "
+        f"{args.machines} machines, R={args.rate:g}.",
+    )
+
+
+_LIARS = {
+    "none": (1.0, 1.0),
+    "true2": (1.0, 2.0),
+    "high1": (3.0, 3.0),
+    "low1": (0.5, 1.0),
+    "low2": (0.5, 2.0),
+}
+
+
+def _cmd_protocol(args: argparse.Namespace) -> str:
+    from repro.agents import ManipulativeAgent, TruthfulAgent
+    from repro.experiments import render_table, table1_configuration
+    from repro.protocol import run_protocol
+
+    config = table1_configuration()
+    agents = [TruthfulAgent(t) for t in config.cluster.true_values]
+    bid_factor, exec_factor = _LIARS[args.liar]
+    if args.liar != "none":
+        agents[0] = ManipulativeAgent(
+            config.cluster.true_values[0], bid_factor, exec_factor
+        )
+
+    result = run_protocol(
+        agents,
+        config.arrival_rate,
+        duration=args.duration,
+        rng=np.random.default_rng(args.seed),
+        drop_probability=args.drop,
+    )
+    rows = [
+        ["jobs routed", result.jobs_routed],
+        ["control messages", result.network.total_messages],
+        ["realised latency", f"{result.outcome.realised_latency:.2f}"],
+        ["C1 estimated t̃", f"{result.estimated_execution_values[0]:.3f}"],
+        ["C1 utility", f"{float(result.outcome.payments.utility[0]):.2f}"],
+        ["mean estimation error %",
+         f"{100 * float(result.estimation_relative_error.mean()):.2f}"],
+    ]
+    return render_table(
+        ["quantity", "value"],
+        rows,
+        title=f"Simulated protocol round (liar={args.liar}, duration={args.duration:g}s).",
+    )
+
+
+def _cmd_multi_liar(args: argparse.Namespace) -> str:
+    from repro.analysis import multi_liar_degradation
+    from repro.experiments import render_table, table1_configuration
+
+    config = table1_configuration()
+    degradations = multi_liar_degradation(
+        config.cluster.true_values,
+        config.arrival_rate,
+        bid_factor=args.bid_factor,
+        execution_factor=args.execution_factor,
+        max_liars=args.max_liars,
+    )
+    rows = [[k, degradations[k]] for k in range(len(degradations))]
+    return render_table(
+        ["liars", "degradation %"],
+        rows,
+        title=f"Multi-liar degradation (bid x{args.bid_factor:g}, "
+        f"execution x{args.execution_factor:g}).",
+    )
+
+
+def _cmd_poa(args: argparse.Namespace) -> str:
+    from repro.analysis.wardrop import price_of_anarchy
+    from repro.experiments import render_table
+    from repro.latency.affine import AffineLatencyModel
+
+    intercepts = [float(v) for v in args.intercepts.split(",")]
+    slopes = [float(v) for v in args.slopes.split(",")]
+    model = AffineLatencyModel(intercepts, slopes)
+    result = price_of_anarchy(model, args.rate)
+    rows = [
+        ["price of anarchy", f"{result.price_of_anarchy:.6f}"],
+        ["equilibrium latency L", f"{result.equilibrium.total_latency:.6f}"],
+        ["optimal latency L*", f"{result.optimum.total_latency:.6f}"],
+        ["common per-job latency", f"{result.common_latency:.6f}"],
+    ]
+    return render_table(
+        ["quantity", "value"],
+        rows,
+        title="Selfish routing (Wardrop) vs system optimum.",
+    )
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> str:
+    from repro.experiments import reproduce_all
+
+    bundle = reproduce_all(args.output)
+    status = "all claims PASS" if bundle.all_claims_pass else "FAILURES present"
+    lines = [f"wrote {len(bundle.files_written)} files to {bundle.output_dir} ({status}):"]
+    lines += [f"  {name}" for name in bundle.files_written]
+    return "\n".join(lines)
+
+
+def _cmd_landscape(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from repro.analysis.landscape import utility_landscape
+    from repro.experiments import table1_configuration
+
+    mechanism = _mechanism_for(args.variant)
+    config = table1_configuration()
+    landscape = utility_landscape(
+        mechanism,
+        config.cluster.true_values,
+        config.arrival_rate,
+        args.agent,
+        bid_factors=np.geomspace(0.25, 4.0, 9),
+        exec_factors=np.linspace(1.0, 3.0, 5),
+    )
+    bid_at_max, exec_at_max = landscape.argmax
+    header = (
+        f"Utility landscape of machine C{args.agent + 1} "
+        f"({args.variant} mechanism); max at bid {bid_at_max:g}x, "
+        f"execution {exec_at_max:g}x.\n"
+    )
+    return header + landscape.render(width=5)
+
+
+def _cmd_verify(args: argparse.Namespace) -> str:
+    from repro.experiments import render_table, verify_reproduction
+
+    report = verify_reproduction()
+    rows = [
+        ["PASS" if check.passed else "FAIL", check.claim, check.paper_value, check.measured]
+        for check in report.checks
+    ]
+    table = render_table(
+        ["status", "claim", "paper", "measured"],
+        rows,
+        title=f"Reproduction report: {report.n_passed}/{len(report.checks)} claims pass.",
+    )
+    if not report.all_passed:
+        table += "\n\nFAILURES PRESENT — see rows marked FAIL."
+    return table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'A Load Balancing Mechanism with Verification' (IPDPS 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1 system configuration").set_defaults(
+        func=_cmd_table1
+    )
+    sub.add_parser("table2", help="Table 2 experiment definitions").set_defaults(
+        func=_cmd_table2
+    )
+
+    figure = sub.add_parser("figure", help="regenerate one figure's rows")
+    figure.add_argument("number", type=int, choices=range(1, 7))
+    figure.set_defaults(func=_cmd_figure)
+
+    audit = sub.add_parser("audit", help="truthfulness / VP audit")
+    audit.add_argument("--variant", choices=_VARIANTS, default="observed")
+    audit.add_argument("--machines", type=int, default=6)
+    audit.add_argument("--rate", type=float, default=10.0)
+    audit.add_argument(
+        "--config", default=None,
+        help="cluster config JSON (defaults to the paper's Table 1)",
+    )
+    audit.set_defaults(func=_cmd_audit)
+
+    protocol = sub.add_parser("protocol", help="simulate one protocol round")
+    protocol.add_argument("--duration", type=float, default=200.0)
+    protocol.add_argument("--seed", type=int, default=0)
+    protocol.add_argument("--liar", choices=sorted(_LIARS), default="none")
+    protocol.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-transmission message loss probability (uses reliable delivery)",
+    )
+    protocol.set_defaults(func=_cmd_protocol)
+
+    multi = sub.add_parser("multi-liar", help="multi-liar degradation (A1)")
+    multi.add_argument("--bid-factor", type=float, default=0.5)
+    multi.add_argument("--execution-factor", type=float, default=2.0)
+    multi.add_argument("--max-liars", type=int, default=8)
+    multi.set_defaults(func=_cmd_multi_liar)
+
+    poa = sub.add_parser("poa", help="Wardrop equilibrium / price of anarchy")
+    poa.add_argument("--intercepts", default="1,0")
+    poa.add_argument("--slopes", default="0.000001,1")
+    poa.add_argument("--rate", type=float, default=1.0)
+    poa.set_defaults(func=_cmd_poa)
+
+    verify = sub.add_parser("verify", help="check every recoverable paper claim")
+    verify.set_defaults(func=_cmd_verify)
+
+    landscape = sub.add_parser(
+        "landscape", help="ASCII utility landscape over (bid, execution) deviations"
+    )
+    landscape.add_argument("--agent", type=int, default=0)
+    landscape.add_argument(
+        "--variant", choices=("observed", "declared"), default="observed"
+    )
+    landscape.set_defaults(func=_cmd_landscape)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="write the full table/figure/report bundle to a directory"
+    )
+    reproduce.add_argument("--output", default="reproduction")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = args.func(args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. `repro figure 1 | head`
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

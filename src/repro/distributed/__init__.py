@@ -1,0 +1,59 @@
+"""Distributed handling of payments and agent privacy.
+
+The paper closes with: "Future work will address the problem of
+distributed handling of payments and the agents privacy."  This
+subpackage implements both, in the style of the distributed algorithmic
+mechanism design line the paper cites (Feigenbaum et al., refs [4-6]):
+
+* :mod:`repro.distributed.topology` — overlay topologies (star, k-ary
+  tree, random spanning tree) built on :mod:`networkx`;
+* :mod:`repro.distributed.aggregation` — convergecast/broadcast rounds
+  computing global sums over a spanning tree with exactly ``2(n-1)``
+  messages per round;
+* :mod:`repro.distributed.privacy` — additive secret sharing so that no
+  single aggregator learns any individual bid or cost;
+* :mod:`repro.distributed.mechanism` — the distributed verification
+  mechanism: every machine computes its *own* payment from two global
+  aggregates (``S = sum 1/b_j`` and the realised latency ``L``), with
+  no central trusted payment computer.  Its outcome equals the
+  centralised mechanism's to machine precision (tested).
+"""
+
+from repro.distributed.topology import (
+    Overlay,
+    star_overlay,
+    tree_overlay,
+    random_tree_overlay,
+)
+from repro.distributed.aggregation import AggregationStats, tree_sum
+from repro.distributed.privacy import (
+    share_additively,
+    reconstruct_sum,
+    SecureSumAggregation,
+)
+from repro.distributed.mechanism import (
+    DistributedOutcome,
+    DistributedVerificationMechanism,
+)
+from repro.distributed.audit import (
+    TamperingCheck,
+    tree_sum_with_relay_faults,
+    double_tree_check,
+)
+
+__all__ = [
+    "Overlay",
+    "star_overlay",
+    "tree_overlay",
+    "random_tree_overlay",
+    "AggregationStats",
+    "tree_sum",
+    "share_additively",
+    "reconstruct_sum",
+    "SecureSumAggregation",
+    "DistributedOutcome",
+    "DistributedVerificationMechanism",
+    "TamperingCheck",
+    "tree_sum_with_relay_faults",
+    "double_tree_check",
+]

@@ -1,0 +1,116 @@
+"""Detecting tampered aggregation: the Byzantine boundary.
+
+The tree aggregation of :mod:`repro.distributed.aggregation` trusts
+internal nodes to add honestly.  A single corrupt *relay* can shift the
+global sum — and with it everyone's payments.  This module implements
+the classic cheap countermeasure and maps its boundary:
+
+* **double-tree cross-check** — run the aggregation over two
+  independently drawn random trees.  A relay whose corruption depends
+  on the subtotal it forwards (multiplicative skimming, truncation,
+  any non-constant distortion) roots a *different* subtree in each
+  tree, so the two totals disagree and the tampering is *detected*
+  (not attributed).
+
+* **the undetectable residue** — corruption that is *independent of
+  position* escapes: a machine lying about its own input, or a relay
+  adding a constant, shifts both runs identically.  That residue is
+  exactly input corruption, and input integrity is what the paper's
+  *verification* step (observing execution) and the mechanism's
+  incentives are for — the aggregation layer cannot and need not police
+  it.  The tests pin both sides of this boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.distributed.aggregation import tree_sum
+from repro.distributed.topology import ROOT, Overlay, random_tree_overlay
+
+__all__ = ["TamperingCheck", "tree_sum_with_relay_faults", "double_tree_check"]
+
+
+@dataclass(frozen=True)
+class TamperingCheck:
+    """Result of a double-tree aggregation cross-check."""
+
+    total_first: float
+    total_second: float
+    tolerance: float
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the two independent aggregations agree."""
+        scale = max(abs(self.total_first), abs(self.total_second), 1.0)
+        return abs(self.total_first - self.total_second) <= self.tolerance * scale
+
+    @property
+    def agreed_total(self) -> float:
+        """The common total (only meaningful when :attr:`consistent`)."""
+        return 0.5 * (self.total_first + self.total_second)
+
+
+def tree_sum_with_relay_faults(
+    overlay: Overlay,
+    values: np.ndarray,
+    relay_bias: dict[int, Callable[[float], float]] | None = None,
+) -> float:
+    """Convergecast where corrupt relays may distort forwarded sums.
+
+    ``relay_bias`` maps a machine index to a function applied to the
+    subtree partial sum it forwards to its parent (identity for honest
+    nodes).  A corrupt *leaf* can only distort its own contribution —
+    pass that through ``values`` instead; the bias hook models relay
+    (aggregation-level) corruption specifically.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size != overlay.n_machines:
+        raise ValueError("values must have one entry per machine")
+    relay_bias = relay_bias or {}
+
+    partial: dict[int | str, float] = {}
+    for node in overlay.bottom_up_order():
+        own = 0.0 if node == ROOT else float(values[node])
+        subtotal = own + sum(partial[c] for c in overlay.children(node))
+        if node != ROOT and node in relay_bias:
+            subtotal = float(relay_bias[node](subtotal))
+        partial[node] = subtotal
+    return partial[ROOT]
+
+
+def double_tree_check(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    relay_bias: dict[int, Callable[[float], float]] | None = None,
+    tolerance: float = 1e-9,
+) -> TamperingCheck:
+    """Aggregate over two independent random trees and compare totals.
+
+    Parameters
+    ----------
+    values:
+        The per-machine contributions (a corrupt leaf's lie lives here
+        and is — by design — not detectable at this layer).
+    rng:
+        Source for the two independent tree draws.
+    relay_bias:
+        Corrupt relays, as in :func:`tree_sum_with_relay_faults`.
+    tolerance:
+        Relative agreement tolerance (floating-point headroom).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.size
+    first_overlay = random_tree_overlay(n, rng)
+    second_overlay = random_tree_overlay(n, rng)
+    total_first = tree_sum_with_relay_faults(first_overlay, values, relay_bias)
+    total_second = tree_sum_with_relay_faults(second_overlay, values, relay_bias)
+    return TamperingCheck(
+        total_first=total_first,
+        total_second=total_second,
+        tolerance=float(tolerance),
+    )

@@ -1,0 +1,110 @@
+"""Agent privacy via additive secret sharing.
+
+The distributed mechanism only ever needs *sums* of per-machine private
+quantities (``sum 1/b_j`` for the allocation, ``sum t̃_j x_j^2`` for the
+payments).  Additive secret sharing lets the machines reveal those sums
+without revealing any individual term to any single party:
+
+* each machine splits its value ``v`` into ``k`` shares
+  ``v = s_1 + ... + s_k`` with ``s_1..s_{k-1}`` drawn uniformly from a
+  wide interval and ``s_k`` the residual;
+* share ``j`` goes to aggregator ``j``; each aggregator sums the shares
+  it received across machines;
+* the aggregator subtotals are summed publicly — the result is the
+  exact global sum, while any single aggregator's view of one machine
+  is a uniform random number carrying (statistically) no information
+  about ``v``.
+
+An honest-but-curious adversary must control **all** ``k`` aggregators
+to learn an individual value — the standard threshold for this
+construction; the tests include a statistical leak check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_float_array
+
+__all__ = ["share_additively", "reconstruct_sum", "SecureSumAggregation"]
+
+
+def share_additively(
+    value: float,
+    n_shares: int,
+    rng: np.random.Generator,
+    *,
+    mask_scale: float = 1e6,
+) -> np.ndarray:
+    """Split ``value`` into ``n_shares`` additive shares.
+
+    The first ``n_shares - 1`` shares are uniform on
+    ``[-mask_scale, mask_scale]``; the last is the residual.  The scale
+    should dominate the magnitude of the secrets (statistical rather
+    than information-theoretic hiding over the reals; over a finite
+    field this construction is perfectly hiding).
+    """
+    if n_shares < 1:
+        raise ValueError("n_shares must be at least 1")
+    if mask_scale <= 0.0:
+        raise ValueError("mask_scale must be positive")
+    shares = np.empty(n_shares)
+    shares[:-1] = rng.uniform(-mask_scale, mask_scale, size=n_shares - 1)
+    shares[-1] = value - shares[:-1].sum()
+    return shares
+
+
+def reconstruct_sum(aggregator_subtotals: np.ndarray) -> float:
+    """Combine the aggregators' subtotals into the global sum."""
+    subtotals = as_float_array(aggregator_subtotals, "aggregator_subtotals")
+    return float(subtotals.sum())
+
+
+@dataclass
+class SecureSumAggregation:
+    """One secure-sum round across ``n_aggregators`` independent parties.
+
+    Usage::
+
+        round_ = SecureSumAggregation(n_aggregators=3, rng=rng)
+        for v in private_values:
+            round_.contribute(v)
+        total = round_.result()
+    """
+
+    n_aggregators: int
+    rng: np.random.Generator
+    mask_scale: float = 1e6
+
+    def __post_init__(self) -> None:
+        if self.n_aggregators < 1:
+            raise ValueError("n_aggregators must be at least 1")
+        self._subtotals = np.zeros(self.n_aggregators)
+        self._contributions = 0
+
+    def contribute(self, value: float) -> None:
+        """Split ``value`` and deliver one share to each aggregator."""
+        shares = share_additively(
+            float(value), self.n_aggregators, self.rng, mask_scale=self.mask_scale
+        )
+        self._subtotals += shares
+        self._contributions += 1
+
+    @property
+    def n_contributions(self) -> int:
+        """How many machines have contributed so far."""
+        return self._contributions
+
+    def aggregator_view(self, index: int) -> float:
+        """What aggregator ``index`` alone sees (its running subtotal)."""
+        return float(self._subtotals[index])
+
+    def result(self) -> float:
+        """The exact global sum (requires combining all aggregators)."""
+        return reconstruct_sum(self._subtotals)
+
+    def messages_sent(self) -> int:
+        """Share-delivery messages so far (k per contribution)."""
+        return self._contributions * self.n_aggregators

@@ -1,0 +1,125 @@
+"""Overlay topologies for the distributed protocol.
+
+An overlay is a rooted spanning tree over the participating machines
+plus the mechanism root.  The tree shape determines the protocol's
+latency (its depth) but not its message count (always one message per
+edge per direction per round) — the trade-off quantified by
+``bench_distributed.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["Overlay", "star_overlay", "tree_overlay", "random_tree_overlay"]
+
+ROOT = "root"
+
+
+@dataclass(frozen=True)
+class Overlay:
+    """A rooted spanning tree over ``n`` machine nodes (``0 .. n-1``).
+
+    Attributes
+    ----------
+    graph:
+        The underlying undirected tree, containing the machine nodes
+        and the distinguished ``"root"`` node.
+    parent:
+        Parent of each machine node on the path to the root (the root
+        itself has no entry).
+    """
+
+    graph: nx.Graph
+    parent: dict[int | str, int | str]
+
+    def __post_init__(self) -> None:
+        if not nx.is_tree(self.graph):
+            raise ValueError("overlay must be a tree")
+        if ROOT not in self.graph:
+            raise ValueError("overlay must contain the root node")
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machine nodes (root excluded)."""
+        return self.graph.number_of_nodes() - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of tree edges (= number of nodes - 1)."""
+        return self.graph.number_of_edges()
+
+    def children(self, node: int | str) -> list[int | str]:
+        """Children of ``node`` in the rooted tree."""
+        return [
+            neighbour
+            for neighbour in self.graph.neighbors(node)
+            if self.parent.get(neighbour) == node
+        ]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path (protocol latency in hops)."""
+        lengths = nx.single_source_shortest_path_length(self.graph, ROOT)
+        return max(lengths.values())
+
+    def bottom_up_order(self) -> list[int | str]:
+        """Nodes ordered so every child precedes its parent (root last)."""
+        order = list(nx.bfs_tree(self.graph, ROOT).nodes())
+        order.reverse()
+        return order
+
+    def top_down_order(self) -> list[int | str]:
+        """Nodes ordered so every parent precedes its children."""
+        return list(nx.bfs_tree(self.graph, ROOT).nodes())
+
+
+def _rooted(graph: nx.Graph) -> Overlay:
+    parent: dict[int | str, int | str] = {}
+    for child, p in nx.bfs_predecessors(graph, ROOT):
+        parent[child] = p
+    return Overlay(graph=graph, parent=parent)
+
+
+def star_overlay(n_machines: int) -> Overlay:
+    """Every machine talks directly to the root (the centralised shape)."""
+    if n_machines < 1:
+        raise ValueError("n_machines must be at least 1")
+    graph = nx.Graph()
+    graph.add_node(ROOT)
+    graph.add_edges_from((ROOT, i) for i in range(n_machines))
+    return _rooted(graph)
+
+
+def tree_overlay(n_machines: int, arity: int = 2) -> Overlay:
+    """Balanced ``arity``-ary tree rooted at the mechanism node."""
+    if n_machines < 1:
+        raise ValueError("n_machines must be at least 1")
+    if arity < 1:
+        raise ValueError("arity must be at least 1")
+    graph = nx.Graph()
+    graph.add_node(ROOT)
+    # The first `arity` machines attach to the root; machine k >= arity
+    # attaches to machine (k - arity) // arity, filling levels in order.
+    for k in range(n_machines):
+        if k < arity:
+            graph.add_edge(ROOT, k)
+        else:
+            graph.add_edge((k - arity) // arity, k)
+    return _rooted(graph)
+
+
+def random_tree_overlay(n_machines: int, rng: np.random.Generator) -> Overlay:
+    """Uniform random recursive tree: node k attaches to a random earlier node."""
+    if n_machines < 1:
+        raise ValueError("n_machines must be at least 1")
+    graph = nx.Graph()
+    graph.add_node(ROOT)
+    nodes: list[int | str] = [ROOT]
+    for k in range(n_machines):
+        attach = nodes[int(rng.integers(0, len(nodes)))]
+        graph.add_edge(attach, k)
+        nodes.append(k)
+    return _rooted(graph)

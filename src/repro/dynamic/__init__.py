@@ -1,0 +1,28 @@
+"""Repeated mechanism rounds under drifting machine speeds.
+
+The paper's mechanism is one-shot: bids are collected once and the
+allocation is computed for a stationary system.  Real machines change
+speed (co-located load, thermal throttling, upgrades).  This subpackage
+models that as a discrete-time process:
+
+* :mod:`repro.dynamic.drift` — per-epoch true-value processes
+  (geometric random walk, regime switching);
+* :mod:`repro.dynamic.rounds` — a repeated mechanism: every epoch the
+  system's true values move, and the mechanism either re-collects bids
+  (a protocol round, 5n messages) or keeps routing on stale bids.
+
+Because the mechanism is truthful, agents re-bid their current truth
+whenever asked — so the only design question left is *how often to
+ask*, trading staleness latency against control traffic.  The
+``bench_dynamic.py`` ablation maps that trade-off.
+"""
+
+from repro.dynamic.drift import GeometricRandomWalkDrift, RegimeSwitchDrift
+from repro.dynamic.rounds import EpochRecord, RepeatedMechanismSimulation
+
+__all__ = [
+    "GeometricRandomWalkDrift",
+    "RegimeSwitchDrift",
+    "EpochRecord",
+    "RepeatedMechanismSimulation",
+]

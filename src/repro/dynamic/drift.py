@@ -1,0 +1,86 @@
+"""True-value drift processes for the repeated mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_float_array, check_positive
+
+__all__ = ["GeometricRandomWalkDrift", "RegimeSwitchDrift"]
+
+
+class GeometricRandomWalkDrift:
+    """Each machine's slope follows a reflected geometric random walk.
+
+    ``log t`` takes a Normal(0, sigma) step per epoch, clipped into
+    ``[log lower, log upper]`` so machines stay physically plausible.
+
+    Parameters
+    ----------
+    sigma:
+        Per-epoch standard deviation of the log step (0.05 ~ 5% speed
+        jitter per epoch).
+    bounds:
+        (lower, upper) clip range for the slopes.
+    """
+
+    def __init__(
+        self,
+        sigma: float,
+        rng: np.random.Generator,
+        *,
+        bounds: tuple[float, float] = (0.05, 100.0),
+    ) -> None:
+        if sigma < 0.0:
+            raise ValueError("sigma must be non-negative")
+        lower, upper = bounds
+        if not 0 < lower < upper:
+            raise ValueError("bounds must satisfy 0 < lower < upper")
+        self.sigma = float(sigma)
+        self.bounds = (float(lower), float(upper))
+        self._rng = rng
+
+    def step(self, true_values: np.ndarray) -> np.ndarray:
+        """One epoch of drift applied to ``true_values``."""
+        true_values = as_float_array(true_values, "true_values")
+        check_positive(true_values, "true_values")
+        steps = self._rng.normal(0.0, self.sigma, size=true_values.size)
+        moved = true_values * np.exp(steps)
+        return np.clip(moved, *self.bounds)
+
+
+class RegimeSwitchDrift:
+    """Machines occasionally jump to a new speed regime.
+
+    With probability ``switch_probability`` per epoch, a machine's
+    slope is redrawn log-uniformly from ``t_range`` (modelling a burst
+    of co-located load appearing or clearing); otherwise it is
+    unchanged.  This is the adversarial end of the drift spectrum:
+    stale bids can be badly wrong right after a switch.
+    """
+
+    def __init__(
+        self,
+        switch_probability: float,
+        rng: np.random.Generator,
+        *,
+        t_range: tuple[float, float] = (1.0, 10.0),
+    ) -> None:
+        if not 0.0 <= switch_probability <= 1.0:
+            raise ValueError("switch_probability must be in [0, 1]")
+        lower, upper = t_range
+        if not 0 < lower <= upper:
+            raise ValueError("t_range must satisfy 0 < lower <= upper")
+        self.switch_probability = float(switch_probability)
+        self.t_range = (float(lower), float(upper))
+        self._rng = rng
+
+    def step(self, true_values: np.ndarray) -> np.ndarray:
+        """One epoch: each machine independently may switch regime."""
+        true_values = as_float_array(true_values, "true_values")
+        check_positive(true_values, "true_values")
+        n = true_values.size
+        switch = self._rng.random(n) < self.switch_probability
+        lower, upper = self.t_range
+        fresh = np.exp(self._rng.uniform(np.log(lower), np.log(upper), size=n))
+        return np.where(switch, fresh, true_values)

@@ -1,0 +1,126 @@
+"""The repeated mechanism: staleness vs re-bid traffic.
+
+Each epoch the machines' true values drift.  The mechanism re-collects
+bids every ``rebid_period`` epochs (a full protocol round, 5n control
+messages); between rounds it keeps routing on the last collected bids.
+Machines always *execute* at their current true speed — truthfulness
+makes reporting honest whenever asked, and execution faster than
+capacity is impossible, so between rounds the realised latency is
+``sum_j t_j(now) x_j(stale bids)^2``.
+
+The per-epoch inefficiency (realised latency over the clairvoyant
+optimum at the current truth) is the *staleness cost*; the bench maps
+it against the re-bid period for both drift models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_float_array, check_positive, check_positive_scalar
+from repro.allocation.pr import optimal_total_latency, pr_loads
+
+__all__ = ["EpochRecord", "RepeatedMechanismSimulation"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """State of one epoch of the repeated mechanism."""
+
+    epoch: int
+    rebid: bool
+    realised_latency: float
+    optimal_latency: float
+    control_messages: int
+
+    @property
+    def staleness_ratio(self) -> float:
+        """Realised over clairvoyant-optimal latency (>= 1)."""
+        return self.realised_latency / self.optimal_latency
+
+
+class RepeatedMechanismSimulation:
+    """Run the mechanism repeatedly under a drift process.
+
+    Parameters
+    ----------
+    initial_true_values:
+        Slopes at epoch 0.
+    arrival_rate:
+        Per-epoch job rate ``R``.
+    drift:
+        Object with a ``step(true_values) -> true_values`` method.
+    rebid_period:
+        Collect fresh bids every this many epochs (1 = every epoch).
+    messages_per_round:
+        Control messages charged per protocol round (5 per machine in
+        the centralised protocol).
+    """
+
+    def __init__(
+        self,
+        initial_true_values: np.ndarray,
+        arrival_rate: float,
+        drift,
+        *,
+        rebid_period: int = 1,
+        messages_per_round: int | None = None,
+    ) -> None:
+        self._t0 = as_float_array(initial_true_values, "initial_true_values")
+        check_positive(self._t0, "initial_true_values")
+        self.arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+        if rebid_period < 1:
+            raise ValueError("rebid_period must be at least 1")
+        self.rebid_period = int(rebid_period)
+        self.drift = drift
+        self.messages_per_round = (
+            5 * self._t0.size if messages_per_round is None else int(messages_per_round)
+        )
+
+    def run(self, n_epochs: int) -> list[EpochRecord]:
+        """Simulate ``n_epochs`` epochs; epoch 0 always collects bids."""
+        if n_epochs < 1:
+            raise ValueError("n_epochs must be at least 1")
+
+        records: list[EpochRecord] = []
+        truth = self._t0.copy()
+        stale_bids = truth.copy()
+        loads = pr_loads(stale_bids, self.arrival_rate)
+
+        for epoch in range(n_epochs):
+            rebid = epoch % self.rebid_period == 0
+            if rebid:
+                # Truthful mechanism: asked agents report their truth.
+                stale_bids = truth.copy()
+                loads = pr_loads(stale_bids, self.arrival_rate)
+
+            realised = float(np.dot(truth, loads**2))
+            optimum = optimal_total_latency(truth, self.arrival_rate)
+            records.append(
+                EpochRecord(
+                    epoch=epoch,
+                    rebid=rebid,
+                    realised_latency=realised,
+                    optimal_latency=optimum,
+                    control_messages=self.messages_per_round if rebid else 0,
+                )
+            )
+            truth = self.drift.step(truth)
+
+        return records
+
+    # ------------------------------------------------------------ summary
+
+    @staticmethod
+    def mean_staleness(records: list[EpochRecord]) -> float:
+        """Average staleness ratio over a run."""
+        if not records:
+            raise ValueError("records must be non-empty")
+        return float(np.mean([r.staleness_ratio for r in records]))
+
+    @staticmethod
+    def total_messages(records: list[EpochRecord]) -> int:
+        """Control messages spent over a run."""
+        return int(sum(r.control_messages for r in records))

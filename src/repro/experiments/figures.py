@@ -1,0 +1,174 @@
+"""Data generators for the paper's Figures 1–6.
+
+Each ``figureN_data`` function returns the series the corresponding
+figure plots; the benchmark harness prints them as rows so the
+reproduction can be compared against the paper's bars at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.table1 import Table1Configuration, table1_configuration
+from repro.experiments.table2 import (
+    PAPER_SCENARIOS,
+    Scenario,
+    build_bid_and_execution_vectors,
+)
+from repro.mechanism.base import Mechanism
+from repro.mechanism.compensation_bonus import VerificationMechanism
+from repro.types import MechanismOutcome
+
+__all__ = [
+    "ExperimentRecord",
+    "run_scenario",
+    "run_all_scenarios",
+    "figure1_data",
+    "figure2_data",
+    "figure345_data",
+    "figure6_data",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """Outcome of one Table 2 scenario on the Table 1 system."""
+
+    scenario: Scenario
+    outcome: MechanismOutcome
+
+    @property
+    def total_latency(self) -> float:
+        """Realised total latency ``L`` (the quantity Figure 1 plots)."""
+        return self.outcome.realised_latency
+
+    @property
+    def c1_payment(self) -> float:
+        """Payment handed to the manipulating computer C1 (Figure 2)."""
+        return float(self.outcome.payments.payment[0])
+
+    @property
+    def c1_utility(self) -> float:
+        """Utility of computer C1 (Figure 2)."""
+        return float(self.outcome.payments.utility[0])
+
+    def degradation_percent(self, optimum: float) -> float:
+        """Latency increase over the True1 optimum, in percent."""
+        return 100.0 * (self.total_latency / optimum - 1.0)
+
+
+def run_scenario(
+    scenario: Scenario,
+    config: Table1Configuration | None = None,
+    mechanism: Mechanism | None = None,
+) -> ExperimentRecord:
+    """Evaluate one scenario with the closed-form mechanism."""
+    if config is None:
+        config = table1_configuration()
+    if mechanism is None:
+        mechanism = VerificationMechanism()
+    true_values = config.cluster.true_values
+    bids, executions = build_bid_and_execution_vectors(true_values, scenario)
+    outcome = mechanism.run(
+        bids, config.arrival_rate, executions, true_values=true_values
+    )
+    return ExperimentRecord(scenario=scenario, outcome=outcome)
+
+
+def run_all_scenarios(
+    config: Table1Configuration | None = None,
+    mechanism: Mechanism | None = None,
+) -> list[ExperimentRecord]:
+    """All eight Table 2 scenarios, in the paper's order."""
+    if config is None:
+        config = table1_configuration()
+    return [run_scenario(s, config, mechanism) for s in PAPER_SCENARIOS]
+
+
+def figure1_data(
+    config: Table1Configuration | None = None,
+) -> dict[str, float]:
+    """Figure 1 — total latency per experiment ("performance degradation")."""
+    records = run_all_scenarios(config)
+    return {r.scenario.name: r.total_latency for r in records}
+
+
+def figure2_data(
+    config: Table1Configuration | None = None,
+    mechanism: Mechanism | None = None,
+) -> dict[str, tuple[float, float]]:
+    """Figure 2 — (payment, utility) of computer C1 per experiment.
+
+    Pass ``VerificationMechanism("declared")`` to reproduce the paper's
+    prose variant where Low2's *payment* (not just utility) is negative;
+    the default follows the paper's formal Definition 3.3.
+    """
+    records = run_all_scenarios(config, mechanism)
+    return {r.scenario.name: (r.c1_payment, r.c1_utility) for r in records}
+
+
+def figure345_data(
+    scenario_name: str,
+    config: Table1Configuration | None = None,
+) -> dict[str, np.ndarray]:
+    """Figures 3–5 — per-computer payment and utility for one experiment.
+
+    Figure 3 is ``scenario_name="True1"``, Figure 4 ``"High1"``,
+    Figure 5 ``"Low1"``.
+    """
+    from repro.experiments.table2 import scenario_by_name
+
+    record = run_scenario(scenario_by_name(scenario_name), config)
+    payments = record.outcome.payments
+    return {
+        "payment": payments.payment,
+        "utility": payments.utility,
+        "compensation": payments.compensation.copy(),
+        "bonus": payments.bonus.copy(),
+        "valuation": payments.valuation.copy(),
+    }
+
+
+def figure6_truthful_structure(
+    config: Table1Configuration | None = None,
+) -> dict[str, np.ndarray]:
+    """Figure 6 — per-computer payment structure under truthful play.
+
+    Returns per-computer payment, |valuation| and their ratio for the
+    True1 profile.  The paper's frugality observation — every payment
+    between 1x and 2.5x the computer's valuation — is a statement about
+    this truthful structure: the lower bound is voluntary participation
+    (Theorem 3.2), the ~2.5 upper bound is empirical.
+    """
+    record = run_scenario(PAPER_SCENARIOS[0], config)  # True1
+    payments = record.outcome.payments
+    valuation_magnitude = np.abs(payments.valuation)
+    return {
+        "payment": payments.payment,
+        "valuation": valuation_magnitude,
+        "ratio": payments.payment / valuation_magnitude,
+    }
+
+
+def figure6_data(
+    config: Table1Configuration | None = None,
+) -> dict[str, dict[str, float]]:
+    """Figure 6 — payment structure per experiment.
+
+    For each scenario: total payment, total valuation magnitude (the
+    agents' aggregate cost), and their ratio.  The paper's frugality
+    observation is that the ratio never exceeds ~2.5 and is bounded
+    below by 1 (voluntary participation).
+    """
+    records = run_all_scenarios(config)
+    data: dict[str, dict[str, float]] = {}
+    for record in records:
+        payments = record.outcome.payments
+        data[record.scenario.name] = {
+            "total_payment": payments.total_payment,
+            "total_valuation": payments.total_valuation_magnitude,
+            "ratio": record.outcome.frugality_ratio,
+        }
+    return data

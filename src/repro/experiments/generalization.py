@@ -1,0 +1,136 @@
+"""Do the paper's findings generalise beyond its one configuration?
+
+The paper evaluates everything on a single 16-machine system.  This
+module re-runs the entire Section 4 scenario suite on ensembles of
+random configurations and reports, for each qualitative claim, the
+fraction of configurations where it holds — separating *structural*
+facts (true by theorem on every configuration) from *configuration
+artefacts* of Table 1.
+
+Structural (must hold at 100%, asserted):
+
+* True1 achieves the minimum realised latency (Theorem 2.1 + 3.1);
+* C1's utility is maximised at True1 (Theorem 3.1);
+* truthful utilities are all non-negative (Theorem 3.2);
+* the High2 < High3 < High1 < High4 ordering (monotone in ``t̃1``
+  at fixed bids).
+
+Configuration-dependent (the measured fractions are the finding):
+
+* "Low2 is the worst experiment" — depends on how dominant the
+  manipulated machine is;
+* "total payment <= 2.5x total valuation" — the truthful ratio is
+  ``1 + Σ s_i/(S - s_i)``, which exceeds 2.5 for small or dominated
+  systems;
+* "C1's utility is negative in Low2" — requires the liar to attract
+  enough misallocated load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_positive_scalar
+from repro.experiments.table2 import PAPER_SCENARIOS, build_bid_and_execution_vectors
+from repro.mechanism.compensation_bonus import VerificationMechanism
+from repro.system.cluster import random_cluster
+
+__all__ = ["GeneralizationResult", "generalization_study"]
+
+
+@dataclass(frozen=True)
+class GeneralizationResult:
+    """Fractions of random configurations where each claim holds."""
+
+    n_configurations: int
+    true1_is_minimum: float
+    c1_utility_peaks_at_true1: float
+    vp_holds: float
+    high_ordering_holds: float
+    low2_is_worst: float
+    frugality_within_2_5: float
+    low2_utility_negative: float
+
+    def structural_claims_universal(self) -> bool:
+        """Whether every theorem-backed claim held on all configurations."""
+        return (
+            self.true1_is_minimum == 1.0
+            and self.c1_utility_peaks_at_true1 == 1.0
+            and self.vp_holds == 1.0
+            and self.high_ordering_holds == 1.0
+        )
+
+
+def _evaluate_one(true_values: np.ndarray, arrival_rate: float) -> dict[str, bool]:
+    mechanism = VerificationMechanism()
+    manipulator = int(np.argmin(true_values))  # the fastest machine, like C1
+
+    latencies: dict[str, float] = {}
+    utilities: dict[str, float] = {}
+    for scenario in PAPER_SCENARIOS:
+        bids, executions = build_bid_and_execution_vectors(
+            true_values, scenario, manipulator=manipulator
+        )
+        outcome = mechanism.run(bids, arrival_rate, executions)
+        latencies[scenario.name] = outcome.realised_latency
+        utilities[scenario.name] = float(outcome.payments.utility[manipulator])
+
+    truthful = mechanism.run(true_values, arrival_rate, true_values)
+
+    return {
+        "true1_is_minimum": latencies["True1"] == min(latencies.values()),
+        "c1_utility_peaks_at_true1": utilities["True1"] == max(utilities.values()),
+        "vp_holds": bool(np.all(truthful.payments.utility >= -1e-9)),
+        "high_ordering_holds": (
+            latencies["High2"] < latencies["High3"]
+            < latencies["High1"] < latencies["High4"]
+        ),
+        "low2_is_worst": latencies["Low2"] == max(latencies.values()),
+        "frugality_within_2_5": 1.0 <= truthful.frugality_ratio <= 2.5,
+        "low2_utility_negative": utilities["Low2"] < 0.0,
+    }
+
+
+def generalization_study(
+    rng: np.random.Generator,
+    *,
+    n_configurations: int = 100,
+    n_machines_range: tuple[int, int] = (4, 32),
+    t_range: tuple[float, float] = (1.0, 10.0),
+    load_per_machine: float = 1.25,
+) -> GeneralizationResult:
+    """Re-run the Section 4 suite on random configurations.
+
+    Each configuration draws a size uniformly from
+    ``n_machines_range``, slopes log-uniformly from ``t_range``, and
+    scales the arrival rate with the system size (constant load per
+    machine, as in the A2 sweep).  The Table 2 manipulations are
+    applied to the fastest machine (the analogue of C1).
+    """
+    if n_configurations < 1:
+        raise ValueError("n_configurations must be at least 1")
+    lo, hi = n_machines_range
+    if not 2 <= lo <= hi:
+        raise ValueError("n_machines_range must satisfy 2 <= lo <= hi")
+    check_positive_scalar(load_per_machine, "load_per_machine")
+
+    counters = {
+        "true1_is_minimum": 0,
+        "c1_utility_peaks_at_true1": 0,
+        "vp_holds": 0,
+        "high_ordering_holds": 0,
+        "low2_is_worst": 0,
+        "frugality_within_2_5": 0,
+        "low2_utility_negative": 0,
+    }
+    for _ in range(n_configurations):
+        n = int(rng.integers(lo, hi + 1))
+        cluster = random_cluster(n, rng, t_range=t_range)
+        verdicts = _evaluate_one(cluster.true_values, load_per_machine * n)
+        for key, held in verdicts.items():
+            counters[key] += bool(held)
+
+    fraction = {k: v / n_configurations for k, v in counters.items()}
+    return GeneralizationResult(n_configurations=n_configurations, **fraction)

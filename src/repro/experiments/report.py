@@ -1,0 +1,91 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Minimal, dependency-free table formatting: the benches print the same
+rows the paper's tables and figure bars report, so paper-vs-measured
+comparisons in EXPERIMENTS.md can be regenerated with one command.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.figures import ExperimentRecord
+
+__all__ = ["render_table", "render_records"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted to ``precision`` decimals.
+    precision:
+        Decimal places for float cells.
+    title:
+        Optional heading line printed above the table.
+    """
+    formatted = [[_format_cell(v, precision) for v in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in formatted)) if formatted else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)
+
+
+def render_records(
+    records: Sequence[ExperimentRecord],
+    *,
+    optimum: float | None = None,
+) -> str:
+    """Render Table 2 experiment outcomes with latency and C1 economics."""
+    if optimum is None:
+        truthful = [r for r in records if r.scenario.name == "True1"]
+        optimum = truthful[0].total_latency if truthful else records[0].total_latency
+    rows = [
+        [
+            r.scenario.name,
+            r.scenario.bid_factor,
+            r.scenario.execution_factor,
+            r.total_latency,
+            r.degradation_percent(optimum),
+            r.c1_payment,
+            r.c1_utility,
+        ]
+        for r in records
+    ]
+    return render_table(
+        ["experiment", "bid x", "exec x", "L", "degr %", "C1 pay", "C1 util"],
+        rows,
+        title="Table 2 scenarios on the Table 1 system",
+    )

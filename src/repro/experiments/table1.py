@@ -1,0 +1,53 @@
+"""Table 1: the simulated system configuration.
+
+Sixteen heterogeneous computers in four speed groups.  The numeric true
+values were reconstructed from the paper's reported results (the
+published table was garbled in the source text): the combination below
+is uniquely pinned by the True1 optimum ``L = 78.43`` at ``R = 20``
+together with the Low1 (+11%) and Low2 (+66%) degradations — see
+DESIGN.md §2 for the verification arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.system.cluster import (
+    PAPER_ARRIVAL_RATE,
+    PAPER_TRUE_VALUES,
+    Cluster,
+    paper_cluster,
+)
+
+__all__ = ["Table1Configuration", "table1_configuration"]
+
+
+@dataclass(frozen=True)
+class Table1Configuration:
+    """The full Section 4 experimental configuration."""
+
+    cluster: Cluster
+    arrival_rate: float
+
+    @property
+    def groups(self) -> tuple[tuple[str, float], ...]:
+        """(machine-range, true value) rows exactly as Table 1 lists them."""
+        return (
+            ("C1 - C2", 1.0),
+            ("C3 - C5", 2.0),
+            ("C6 - C10", 5.0),
+            ("C11 - C16", 10.0),
+        )
+
+
+def table1_configuration() -> Table1Configuration:
+    """The paper's system: 16 machines, job arrival rate R = 20/s."""
+    return Table1Configuration(
+        cluster=paper_cluster(),
+        arrival_rate=PAPER_ARRIVAL_RATE,
+    )
+
+
+# re-exported so experiment code has a single import point
+TABLE1_TRUE_VALUES = PAPER_TRUE_VALUES
+TABLE1_ARRIVAL_RATE = PAPER_ARRIVAL_RATE

@@ -1,0 +1,88 @@
+"""Abstract base class for vectorised per-machine latency models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro._validation import as_float_array, check_nonnegative
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel(ABC):
+    """A family of load-dependent latency functions, one per machine.
+
+    Subclasses hold per-machine parameter arrays and implement the three
+    primitives the allocation solvers need:
+
+    * :meth:`per_job` — ``l_i(x_i)``: the expected time to complete one
+      job at machine ``i`` when jobs arrive at rate ``x_i``;
+    * :meth:`marginal` — ``d/dx [x l_i(x)]``: marginal increase of the
+      machine's *total* latency with load;
+    * :meth:`marginal_inverse` — functional inverse of :meth:`marginal`,
+      used by the water-filling optimiser.
+
+    The total (system) objective the paper minimises is
+    ``L(x) = sum_i x_i l_i(x_i)``.
+    """
+
+    #: number of machines this model describes
+    n_machines: int
+
+    # ---------------------------------------------------------------- core
+
+    @abstractmethod
+    def per_job(self, loads: np.ndarray) -> np.ndarray:
+        """Per-job latency ``l_i(x_i)`` for each machine."""
+
+    @abstractmethod
+    def marginal(self, loads: np.ndarray) -> np.ndarray:
+        """Derivative of per-machine total latency ``d/dx [x l_i(x)]``."""
+
+    @abstractmethod
+    def marginal_inverse(self, slope: float | np.ndarray) -> np.ndarray:
+        """Load at which each machine's marginal total latency equals ``slope``.
+
+        Must return 0 where the marginal at zero load already exceeds
+        ``slope`` (the machine is priced out at that water level).
+        """
+
+    @abstractmethod
+    def load_capacity(self) -> np.ndarray:
+        """Per-machine supremum of feasible load (``inf`` if unbounded)."""
+
+    # ------------------------------------------------------------ derived
+
+    def total(self, loads: np.ndarray) -> np.ndarray:
+        """Per-machine total latency contribution ``x_i l_i(x_i)``."""
+        loads = self._check_loads(loads)
+        return loads * self.per_job(loads)
+
+    def total_latency(self, loads: np.ndarray) -> float:
+        """System objective ``L(x) = sum_i x_i l_i(x_i)``."""
+        return float(np.sum(self.total(loads)))
+
+    # ------------------------------------------------------------ helpers
+
+    def _check_loads(self, loads: np.ndarray) -> np.ndarray:
+        """Validate a load vector against this model's machine count."""
+        loads = as_float_array(loads, "loads")
+        if loads.size != self.n_machines:
+            raise ValueError(
+                f"loads has {loads.size} entries but the model describes "
+                f"{self.n_machines} machines"
+            )
+        check_nonnegative(loads, "loads")
+        cap = self.load_capacity()
+        if np.any(loads >= cap):
+            bad = int(np.argmax(loads >= cap))
+            raise ValueError(
+                f"load {loads[bad]:g} at machine {bad} is not below its "
+                f"capacity {cap[bad]:g}"
+            )
+        return loads
+
+    def __len__(self) -> int:
+        return self.n_machines

@@ -1,0 +1,175 @@
+"""Truthful mechanism for M/M/1 computers — the companion paper, rebuilt.
+
+Grosu & Chronopoulos (CLUSTER 2002 — the reproduced paper's ref [8] and
+"closest work") design a truthful load balancing mechanism for
+computers modelled by M/M/1 delay functions, using the Archer–Tardos
+one-parameter framework: each computer's private value is ``t_i``
+(inverse processing rate, so ``mu_i = 1/t_i``), its cost is
+``t_i * x_i`` (processing time per unit of allocated work), the
+allocation is the latency-optimal M/M/1 split (here via the
+water-filling solver), and the truthful payment is
+
+    ``P_i(b) = b_i x_i(b) + integral_{b_i}^{inf} x_i(u, b_{-i}) du``.
+
+Unlike the linear case there is no closed form: the work curve
+``x_i(u, b_{-i})`` comes from re-solving the allocation, and the
+integral is evaluated by adaptive quadrature.  The integral's support
+is finite: once ``u`` exceeds the water level at which the *other*
+machines alone absorb the whole arrival rate, machine ``i`` receives
+zero load — the cutoff is computed exactly, not guessed.
+
+Included both as the reproduced paper's nearest baseline and as a
+demonstration that the substrate (latency models + general allocator)
+supports mechanisms beyond the linear model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import integrate
+
+from repro._validation import as_float_array, check_positive, check_positive_scalar
+from repro.allocation.kkt import water_filling_allocation
+from repro.latency.mm1 import MM1LatencyModel
+from repro.mechanism.base import Mechanism
+from repro.types import AllocationResult, PaymentResult
+
+__all__ = ["MM1TruthfulMechanism"]
+
+
+class MM1TruthfulMechanism(Mechanism):
+    """Archer–Tardos mechanism on the M/M/1 delay substrate.
+
+    Bids are declared ``t_i = 1/mu_i`` values.  The mechanism requires
+    every leave-one-out subsystem to have spare capacity (otherwise a
+    single machine could hold the system hostage and its payment
+    integral would diverge); :meth:`run` validates this.
+    """
+
+    uses_verification = False
+
+    def __init__(self, quadrature_tol: float = 1e-8) -> None:
+        self.quadrature_tol = float(quadrature_tol)
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _model(bids: np.ndarray) -> MM1LatencyModel:
+        return MM1LatencyModel(1.0 / bids)
+
+    @staticmethod
+    def _check_capacity(bids: np.ndarray, arrival_rate: float) -> None:
+        mu = 1.0 / bids
+        total = float(mu.sum())
+        if arrival_rate >= total:
+            raise ValueError(
+                f"arrival rate {arrival_rate:g} exceeds the declared capacity {total:g}"
+            )
+        loo = total - mu
+        if np.any(arrival_rate >= loo):
+            worst = int(np.argmin(loo - arrival_rate))
+            raise ValueError(
+                "every leave-one-out subsystem needs spare capacity for the "
+                f"payment to be well defined; removing machine {worst} leaves "
+                f"capacity {loo[worst]:g} < R = {arrival_rate:g}"
+            )
+
+    def _load_of(
+        self, agent: int, bid: float, bids: np.ndarray, arrival_rate: float
+    ) -> float:
+        """Machine ``agent``'s load when it bids ``bid`` (work curve)."""
+        candidate = bids.copy()
+        candidate[agent] = bid
+        allocation = water_filling_allocation(
+            self._model(candidate), arrival_rate
+        )
+        return float(allocation.loads[agent])
+
+    def _exclusion_bid(
+        self, agent: int, bids: np.ndarray, arrival_rate: float
+    ) -> float:
+        """Bid above which machine ``agent`` receives zero load.
+
+        A machine is priced out when its zero-load marginal (``1/mu_i``
+        = its bid) reaches the water level of the others-only optimum.
+        """
+        others = np.delete(bids, agent)
+        allocation = water_filling_allocation(self._model(others), arrival_rate)
+        model = self._model(others)
+        level = float(model.marginal(allocation.loads).max())
+        return level
+
+    # ------------------------------------------------------------ stages
+
+    def allocate(self, bids: np.ndarray, arrival_rate: float) -> AllocationResult:
+        """Latency-optimal M/M/1 allocation at the declared rates."""
+        self._check_capacity(bids, arrival_rate)
+        allocation = water_filling_allocation(self._model(bids), arrival_rate)
+        # Re-package with the bids (water_filling stores marginals).
+        return AllocationResult(
+            loads=allocation.loads,
+            arrival_rate=arrival_rate,
+            bids=bids,
+            total_latency=allocation.total_latency,
+        )
+
+    def payments(
+        self,
+        allocation: AllocationResult,
+        execution_values: np.ndarray,
+    ) -> PaymentResult:
+        """AT payments: declared-cost rebate plus the work-curve integral."""
+        bids = allocation.bids
+        rate = allocation.arrival_rate
+        n = bids.size
+
+        compensation = bids * allocation.loads
+        bonus = np.empty(n)
+        for i in range(n):
+            cutoff = self._exclusion_bid(i, bids, rate)
+            if cutoff <= bids[i]:
+                bonus[i] = 0.0
+                continue
+            value, _err = integrate.quad(
+                lambda u, i=i: self._load_of(i, u, bids, rate),
+                bids[i],
+                cutoff,
+                epsabs=self.quadrature_tol,
+                epsrel=self.quadrature_tol,
+                limit=100,
+            )
+            bonus[i] = value
+
+        # One-parameter valuation: cost is t̃_i per unit of work x_i.
+        valuation = -execution_values * allocation.loads
+        return PaymentResult(
+            compensation=compensation, bonus=bonus, valuation=valuation
+        )
+
+    # ------------------------------------------------------------ analysis
+
+    def utility_of_bid(
+        self,
+        agent: int,
+        bid: float,
+        true_value: float,
+        bids: np.ndarray,
+        arrival_rate: float,
+    ) -> float:
+        """Agent's utility for one candidate bid (others' bids fixed).
+
+        Used by the truthfulness tests; the agent's realised cost uses
+        its *true* value regardless of the declaration.
+        """
+        bids = as_float_array(bids, "bids").copy()
+        check_positive(bids, "bids")
+        true_value = check_positive_scalar(true_value, "true_value")
+        bids[agent] = bid
+        outcome = self.run(bids, arrival_rate)
+        load = float(outcome.loads[agent])
+        payment = float(outcome.payments.payment[agent])
+        # Replace the declared-cost valuation with the true one.
+        return payment - true_value * load
+
+    def __repr__(self) -> str:
+        return "MM1TruthfulMechanism()"

@@ -1,0 +1,220 @@
+"""Coordinator and machine-node state machines for the protocol.
+
+The control plane is message-driven: the coordinator advances through
+the protocol phases as replies arrive over the simulated network, never
+by peeking at other nodes' state.  The data plane (individual jobs) is
+routed directly by the runtime — the paper's O(n) message complexity
+refers to the control messages, and the network statistics count
+exactly those.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.agents.base import Agent
+from repro.mechanism.base import Mechanism
+from repro.protocol.messages import (
+    AllocationNotice,
+    BidReply,
+    BidRequest,
+    CompletionReport,
+    Message,
+    PaymentNotice,
+)
+from repro.protocol.network import SimulatedNetwork
+from repro.system.des import Simulator
+from repro.system.machine import LinearLatencyMachine
+from repro.types import MechanismOutcome
+
+__all__ = ["ProtocolPhase", "MachineNode", "MechanismCoordinator"]
+
+COORDINATOR_NAME = "mechanism"
+
+
+class ProtocolPhase(enum.Enum):
+    """Phases of the centralised protocol, in order."""
+
+    IDLE = "idle"
+    BIDDING = "bidding"
+    EXECUTING = "executing"
+    VERIFYING = "verifying"
+    DONE = "done"
+
+
+@dataclass
+class MachineNode:
+    """Network-facing wrapper around one machine and its strategic owner.
+
+    Responds to the coordinator's control messages; the actual job
+    execution happens in the wrapped :class:`LinearLatencyMachine`
+    (whose execution value is the *agent's* choice — that is the
+    behaviour the mechanism must verify).
+    """
+
+    name: str
+    agent: Agent
+    machine: LinearLatencyMachine
+    network: SimulatedNetwork
+    allocated_load: float | None = None
+    received_payment: PaymentNotice | None = None
+
+    def handle(self, message: Message, sim: Simulator) -> None:
+        """Dispatch one delivered control message."""
+        if isinstance(message, BidRequest):
+            self.network.send(
+                BidReply(
+                    sender=self.name,
+                    receiver=COORDINATOR_NAME,
+                    bid=self.agent.bid(),
+                )
+            )
+        elif isinstance(message, AllocationNotice):
+            self.allocated_load = message.load
+            self.machine.configure(message.load)
+        elif isinstance(message, PaymentNotice):
+            self.received_payment = message
+        else:
+            raise TypeError(f"machine {self.name} cannot handle {type(message).__name__}")
+
+    def report_completion(self) -> None:
+        """Send the coordinator this machine's execution summary."""
+        stats = self.machine.stats()
+        self.network.send(
+            CompletionReport(
+                sender=self.name,
+                receiver=COORDINATOR_NAME,
+                jobs_completed=stats.completed,
+                mean_sojourn=stats.mean_sojourn if stats.completed else 0.0,
+            )
+        )
+
+
+@dataclass
+class MechanismCoordinator:
+    """The central mechanism: collects bids, allocates, verifies, pays.
+
+    Parameters
+    ----------
+    mechanism:
+        Payment rule (normally :class:`~repro.mechanism.VerificationMechanism`).
+    machine_names:
+        Control-plane identities of the participating machines.
+    arrival_rate:
+        Total job rate ``R`` to allocate.
+    network:
+        The simulated network to communicate over.
+    on_allocated:
+        Runtime callback fired once the allocation is decided; receives
+        the load vector in ``machine_names`` order (the runtime uses it
+        to start routing jobs).
+    """
+
+    mechanism: Mechanism
+    machine_names: list[str]
+    arrival_rate: float
+    network: SimulatedNetwork
+    on_allocated: Callable[[np.ndarray], None] | None = None
+
+    phase: ProtocolPhase = ProtocolPhase.IDLE
+    outcome: MechanismOutcome | None = None
+    estimated_execution_values: np.ndarray | None = None
+
+    _bids: dict[str, float] = field(default_factory=dict)
+    _reports: dict[str, CompletionReport] = field(default_factory=dict)
+    _loads: np.ndarray | None = None
+
+    def start(self) -> None:
+        """Begin a round: request a bid from every machine."""
+        if self.phase is not ProtocolPhase.IDLE:
+            raise RuntimeError(f"cannot start from phase {self.phase}")
+        self.phase = ProtocolPhase.BIDDING
+        for name in self.machine_names:
+            self.network.send(BidRequest(sender=COORDINATOR_NAME, receiver=name))
+
+    def handle(self, message: Message, sim: Simulator) -> None:
+        """Dispatch one delivered control message."""
+        if isinstance(message, BidReply):
+            self._on_bid(message)
+        elif isinstance(message, CompletionReport):
+            self._on_report(message)
+        else:
+            raise TypeError(f"coordinator cannot handle {type(message).__name__}")
+
+    # ------------------------------------------------------------ phases
+
+    def _on_bid(self, reply: BidReply) -> None:
+        if self.phase is not ProtocolPhase.BIDDING:
+            raise RuntimeError(f"unexpected bid in phase {self.phase}")
+        if reply.sender in self._bids:
+            raise RuntimeError(f"duplicate bid from {reply.sender}")
+        self._bids[reply.sender] = reply.bid
+        if len(self._bids) < len(self.machine_names):
+            return
+
+        bids = self.bids_vector()
+        allocation = self.mechanism.allocate(bids, self.arrival_rate)
+        self._loads = allocation.loads
+        self.phase = ProtocolPhase.EXECUTING
+        for name, load in zip(self.machine_names, allocation.loads):
+            self.network.send(
+                AllocationNotice(
+                    sender=COORDINATOR_NAME, receiver=name, load=float(load)
+                )
+            )
+        if self.on_allocated is not None:
+            self.on_allocated(allocation.loads)
+
+    def _on_report(self, report: CompletionReport) -> None:
+        if self.phase is not ProtocolPhase.EXECUTING:
+            raise RuntimeError(f"unexpected completion report in phase {self.phase}")
+        if report.sender in self._reports:
+            raise RuntimeError(f"duplicate report from {report.sender}")
+        self._reports[report.sender] = report
+        if len(self._reports) < len(self.machine_names):
+            return
+
+        self.phase = ProtocolPhase.VERIFYING
+        self._verify_and_pay()
+
+    def _verify_and_pay(self) -> None:
+        bids = self.bids_vector()
+        assert self._loads is not None
+        estimates = np.empty(len(self.machine_names))
+        for k, name in enumerate(self.machine_names):
+            report = self._reports[name]
+            if report.jobs_completed == 0 or self._loads[k] == 0.0:
+                # No executed jobs means no evidence against the bid;
+                # the mechanism falls back to the declared value.
+                estimates[k] = bids[k]
+            else:
+                # t̂ = mean sojourn / allocated rate (see estimator.py);
+                # the report carries the pre-aggregated mean.
+                estimates[k] = report.mean_sojourn / self._loads[k]
+
+        self.estimated_execution_values = estimates
+        self.outcome = self.mechanism.run(bids, self.arrival_rate, estimates)
+        payments = self.outcome.payments
+        for k, name in enumerate(self.machine_names):
+            self.network.send(
+                PaymentNotice(
+                    sender=COORDINATOR_NAME,
+                    receiver=name,
+                    payment=float(payments.payment[k]),
+                    compensation=float(payments.compensation[k]),
+                    bonus=float(payments.bonus[k]),
+                )
+            )
+        self.phase = ProtocolPhase.DONE
+
+    # ------------------------------------------------------------ helpers
+
+    def bids_vector(self) -> np.ndarray:
+        """Collected bids in ``machine_names`` order."""
+        if len(self._bids) != len(self.machine_names):
+            raise RuntimeError("bids are not complete yet")
+        return np.array([self._bids[name] for name in self.machine_names])

@@ -1,0 +1,84 @@
+"""Typed protocol messages.
+
+Each phase of the centralised protocol exchanges exactly one message
+per machine, which is how the O(n) total message count arises:
+``BidRequest``/``BidReply`` (2n), ``AllocationNotice`` (n),
+``CompletionReport`` (n), ``PaymentNotice`` (n) — 5n messages per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Message",
+    "BidRequest",
+    "BidReply",
+    "AllocationNotice",
+    "CompletionReport",
+    "PaymentNotice",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base protocol message: sender and receiver identifiers.
+
+    The coordinator uses the reserved name ``"mechanism"``.
+    """
+
+    sender: str
+    receiver: str
+
+
+@dataclass(frozen=True)
+class BidRequest(Message):
+    """Mechanism asks a machine to declare its latency slope."""
+
+
+@dataclass(frozen=True)
+class BidReply(Message):
+    """A machine's declared latency slope (its bid ``b_i``)."""
+
+    bid: float
+
+    def __post_init__(self) -> None:
+        if self.bid <= 0.0:
+            raise ValueError(f"bid must be positive, got {self.bid:g}")
+
+
+@dataclass(frozen=True)
+class AllocationNotice(Message):
+    """Mechanism tells a machine the job rate routed to it."""
+
+    load: float
+
+    def __post_init__(self) -> None:
+        if self.load < 0.0:
+            raise ValueError(f"load must be non-negative, got {self.load:g}")
+
+
+@dataclass(frozen=True)
+class CompletionReport(Message):
+    """A machine reports summary statistics of its executed jobs.
+
+    The mechanism uses the report to *estimate* the machine's execution
+    value; the machine cannot directly declare ``t̃`` (that would defeat
+    verification), it can only influence the observable completions.
+    """
+
+    jobs_completed: int
+    mean_sojourn: float
+
+    def __post_init__(self) -> None:
+        if self.jobs_completed < 0:
+            raise ValueError("jobs_completed must be non-negative")
+
+
+@dataclass(frozen=True)
+class PaymentNotice(Message):
+    """Mechanism hands a machine its payment (compensation + bonus)."""
+
+    payment: float
+    compensation: float
+    bonus: float

@@ -1,0 +1,150 @@
+"""Heterogeneous cluster configurations.
+
+Provides the paper's 16-computer system (Table 1) and generators for
+random and grouped clusters used by the scaling and sensitivity
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_float_array, check_positive, check_positive_scalar
+from repro.latency.linear import LinearLatencyModel
+
+__all__ = ["Cluster", "paper_cluster", "random_cluster", "grouped_cluster"]
+
+#: Table 1 of the paper, reconstructed (see DESIGN.md §2): true latency
+#: slopes of computers C1..C16.
+PAPER_TRUE_VALUES: tuple[float, ...] = (
+    1.0, 1.0,                      # C1 - C2
+    2.0, 2.0, 2.0,                 # C3 - C5
+    5.0, 5.0, 5.0, 5.0, 5.0,       # C6 - C10
+    10.0, 10.0, 10.0, 10.0, 10.0, 10.0,  # C11 - C16
+)
+
+#: job arrival rate used throughout the paper's Section 4
+PAPER_ARRIVAL_RATE: float = 20.0
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A named heterogeneous cluster of machines with linear latencies.
+
+    Attributes
+    ----------
+    true_values:
+        Private latency slopes ``t_i`` of the machines.
+    names:
+        Human-readable machine names (``C1``.. by default).
+    """
+
+    true_values: np.ndarray
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        values = as_float_array(self.true_values, "true_values")
+        check_positive(values, "true_values")
+        values.setflags(write=False)
+        object.__setattr__(self, "true_values", values)
+        if len(self.names) != values.size:
+            raise ValueError("names must have one entry per machine")
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines."""
+        return int(self.true_values.size)
+
+    @property
+    def processing_rates(self) -> np.ndarray:
+        """Per-machine processing rates ``1 / t_i``."""
+        return 1.0 / self.true_values
+
+    @property
+    def total_inverse(self) -> float:
+        """``sum_i 1/t_i`` — the aggregate speed driving Theorem 2.1."""
+        return float(np.sum(1.0 / self.true_values))
+
+    def latency_model(self) -> LinearLatencyModel:
+        """The cluster's linear latency model at the true values."""
+        return LinearLatencyModel(self.true_values)
+
+    def heterogeneity(self) -> float:
+        """Max-over-min slope ratio: 1 for homogeneous clusters."""
+        return float(np.max(self.true_values) / np.min(self.true_values))
+
+    def subset(self, indices: np.ndarray) -> "Cluster":
+        """Cluster restricted to the machines at ``indices``."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Cluster(
+            true_values=self.true_values[indices],
+            names=tuple(self.names[i] for i in indices),
+        )
+
+    def __len__(self) -> int:
+        return self.n_machines
+
+
+def _default_names(n: int) -> tuple[str, ...]:
+    return tuple(f"C{i + 1}" for i in range(n))
+
+
+def paper_cluster() -> Cluster:
+    """The paper's 16-machine system (Table 1)."""
+    return Cluster(
+        true_values=np.array(PAPER_TRUE_VALUES),
+        names=_default_names(len(PAPER_TRUE_VALUES)),
+    )
+
+
+def grouped_cluster(group_sizes: list[int], group_values: list[float]) -> Cluster:
+    """A cluster of speed groups, Table-1 style.
+
+    ``grouped_cluster([2, 3, 5, 6], [1, 2, 5, 10])`` reproduces the
+    paper's configuration.
+    """
+    if len(group_sizes) != len(group_values):
+        raise ValueError("group_sizes and group_values must have the same length")
+    if any(s <= 0 for s in group_sizes):
+        raise ValueError("group sizes must be positive")
+    values = np.repeat(
+        as_float_array(group_values, "group_values"), np.asarray(group_sizes)
+    )
+    check_positive(values, "group_values")
+    return Cluster(true_values=values, names=_default_names(values.size))
+
+
+def random_cluster(
+    n_machines: int,
+    rng: np.random.Generator,
+    *,
+    t_range: tuple[float, float] = (1.0, 10.0),
+    log_uniform: bool = True,
+) -> Cluster:
+    """A random heterogeneous cluster with slopes drawn from ``t_range``.
+
+    Parameters
+    ----------
+    n_machines:
+        Number of machines (>= 1).
+    rng:
+        Source of randomness (inject for reproducibility).
+    t_range:
+        Bounds of the slope distribution.
+    log_uniform:
+        Draw log-uniformly (default) so slow and fast machines are
+        equally represented per decade, matching the paper's spread.
+    """
+    if n_machines < 1:
+        raise ValueError("n_machines must be at least 1")
+    lo = check_positive_scalar(t_range[0], "t_range[0]")
+    hi = check_positive_scalar(t_range[1], "t_range[1]")
+    if lo > hi:
+        raise ValueError("t_range must satisfy lo <= hi")
+    if log_uniform:
+        values = np.exp(rng.uniform(np.log(lo), np.log(hi), size=n_machines))
+    else:
+        values = rng.uniform(lo, hi, size=n_machines)
+    return Cluster(true_values=values, names=_default_names(n_machines))

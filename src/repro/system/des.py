@@ -1,0 +1,120 @@
+"""Minimal discrete-event simulation core.
+
+A classic event-calendar design: a priority queue of timestamped
+events, a clock that jumps from event to event, and handlers that may
+schedule further events.  Deliberately small — just enough to run the
+machine processes and the mechanism protocol — but complete: stable
+FIFO ordering of simultaneous events, cancellation, and run-until
+horizons are all supported and tested.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Ordering is (time, sequence number), so simultaneous events fire in
+    the order they were scheduled (stable FIFO tie-breaking).
+    """
+
+    time: float
+    seq: int
+    handler: Callable[["Simulator"], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it surfaces."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of events with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, handler: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``handler`` at ``time`` and return the event handle."""
+        event = Event(time=time, seq=next(self._counter), handler=handler)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Next non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class Simulator:
+    """Event-driven simulator with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, handler: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``handler`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay:g}")
+        return self._queue.push(self.now + delay, handler)
+
+    def schedule_at(self, time: float, handler: Callable[["Simulator"], None]) -> Event:
+        """Schedule ``handler`` at absolute ``time`` (>= the current clock)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time:g}, before the current time {self.now:g}"
+            )
+        return self._queue.push(time, handler)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is past this horizon (the clock is
+            then advanced to the horizon).  ``None`` runs to quiescence.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            assert event is not None  # peek_time said there was one
+            self.now = event.time
+            self.events_processed += 1
+            event.handler(self)
+        if until is not None and until > self.now:
+            self.now = until
+
+    def pending(self) -> int:
+        """Number of live scheduled events."""
+        return len(self._queue)

@@ -1,0 +1,100 @@
+"""Workload traces: record, inspect, and replay job streams.
+
+The paper has no production traces (its workload is "jobs arrive at
+rate R"); DESIGN.md §5 substitutes synthetic Poisson streams.  For
+experiments that must be replayed exactly — regression baselines,
+cross-implementation comparisons, bug reports — this module serialises
+a job stream to a JSON trace file with summary statistics, and loads it
+back bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.system.workload import Job
+
+__all__ = ["TraceStats", "save_trace", "load_trace", "trace_stats"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a job trace."""
+
+    n_jobs: int
+    duration: float
+    mean_rate: float
+    interarrival_cv: float
+
+    @property
+    def looks_poissonian(self) -> bool:
+        """Whether the gap coefficient of variation is near 1.
+
+        Exponential gaps have CV exactly 1; a deterministic clock has
+        CV 0.  The band [0.9, 1.1] is a coarse screen, not a formal
+        test — use it for sanity checks, not inference.
+        """
+        return 0.9 <= self.interarrival_cv <= 1.1
+
+
+def trace_stats(jobs: Sequence[Job]) -> TraceStats:
+    """Compute summary statistics for a job stream."""
+    if len(jobs) < 2:
+        raise ValueError("a trace needs at least two jobs for statistics")
+    times = np.array([job.arrival_time for job in jobs])
+    if np.any(np.diff(times) < 0.0):
+        raise ValueError("jobs must be in arrival order")
+    gaps = np.diff(times)
+    duration = float(times[-1] - times[0])
+    mean_gap = float(gaps.mean())
+    cv = float(gaps.std() / mean_gap) if mean_gap > 0 else float("inf")
+    return TraceStats(
+        n_jobs=len(jobs),
+        duration=duration,
+        mean_rate=(len(jobs) - 1) / duration if duration > 0 else float("inf"),
+        interarrival_cv=cv,
+    )
+
+
+def save_trace(jobs: Sequence[Job], path: Path | str) -> None:
+    """Write a job stream to a JSON trace file (with embedded stats)."""
+    path = Path(path)
+    stats = trace_stats(jobs) if len(jobs) >= 2 else None
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "n_jobs": len(jobs),
+        "stats": (
+            {
+                "duration": stats.duration,
+                "mean_rate": stats.mean_rate,
+                "interarrival_cv": stats.interarrival_cv,
+            }
+            if stats
+            else None
+        ),
+        # Hex floats round-trip exactly; decimal repr may not.
+        "arrival_times": [job.arrival_time.hex() for job in jobs],
+    }
+    path.write_text(json.dumps(document, indent=1) + "\n")
+
+
+def load_trace(path: Path | str) -> list[Job]:
+    """Load a trace file back into a job stream (bit-exact)."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format {document.get('format_version')!r}"
+        )
+    times = [float.fromhex(value) for value in document["arrival_times"]]
+    if len(times) != document["n_jobs"]:
+        raise ValueError("trace is corrupt: job count does not match times")
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ValueError("trace is corrupt: arrival times are not sorted")
+    return [Job(job_id=i, arrival_time=t) for i, t in enumerate(times)]

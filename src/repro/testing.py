@@ -1,0 +1,128 @@
+"""Public invariant checkers for downstream test suites.
+
+A user extending this library (a new latency model, a modified payment
+rule, a custom cluster) needs to re-verify the same invariants this
+repository pins.  This module packages them as importable assertions:
+
+>>> import numpy as np
+>>> from repro import VerificationMechanism
+>>> from repro.testing import assert_payment_identities
+>>> outcome = VerificationMechanism().run(np.array([1.0, 2.0]), 5.0)
+>>> assert_payment_identities(outcome)
+
+Each checker raises ``AssertionError`` with a diagnostic message on
+violation and returns ``None`` on success, so they compose with any
+test framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation.pr import optimal_latency_excluding_each
+from repro.mechanism.base import Mechanism
+from repro.mechanism.properties import truthfulness_audit
+from repro.types import AllocationResult, MechanismOutcome
+
+__all__ = [
+    "assert_feasible_allocation",
+    "assert_payment_identities",
+    "assert_voluntary_participation",
+    "assert_truthful_on_grid",
+]
+
+
+def assert_feasible_allocation(
+    allocation: AllocationResult, *, rtol: float = 1e-9
+) -> None:
+    """Positivity and conservation (the paper's feasibility conditions)."""
+    loads = allocation.loads
+    if np.any(loads < 0.0):
+        worst = int(np.argmin(loads))
+        raise AssertionError(
+            f"positivity violated: load {loads[worst]:g} at machine {worst}"
+        )
+    total = float(loads.sum())
+    if abs(total - allocation.arrival_rate) > rtol * allocation.arrival_rate:
+        raise AssertionError(
+            f"conservation violated: loads sum to {total:g}, "
+            f"expected {allocation.arrival_rate:g}"
+        )
+
+
+def assert_payment_identities(
+    outcome: MechanismOutcome, *, rtol: float = 1e-9
+) -> None:
+    """The accounting identities of Definition 3.3.
+
+    Checks ``payment = compensation + bonus``, ``utility = payment +
+    valuation`` and, for verification-mechanism outcomes, the bonus
+    formula ``B_i = L_{-i} - L(x, t̃)``.
+    """
+    payments = outcome.payments
+    np.testing.assert_allclose(
+        payments.payment,
+        payments.compensation + payments.bonus,
+        rtol=rtol,
+        err_msg="payment != compensation + bonus",
+    )
+    np.testing.assert_allclose(
+        payments.utility,
+        payments.payment + payments.valuation,
+        rtol=rtol,
+        err_msg="utility != payment + valuation",
+    )
+    if outcome.metadata.get("mechanism") == "VerificationMechanism":
+        excluded = optimal_latency_excluding_each(
+            outcome.allocation.bids, outcome.allocation.arrival_rate
+        )
+        np.testing.assert_allclose(
+            payments.bonus,
+            excluded - outcome.realised_latency,
+            rtol=rtol,
+            err_msg="bonus != L_{-i} - realised latency",
+        )
+
+
+def assert_voluntary_participation(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    *,
+    tolerance: float = 1e-9,
+) -> None:
+    """Theorem 3.2: truthful utilities are non-negative."""
+    true_values = np.asarray(true_values, dtype=np.float64)
+    outcome = mechanism.run(
+        true_values, arrival_rate, true_values, true_values=true_values
+    )
+    utilities = outcome.payments.utility
+    if np.any(utilities < -tolerance):
+        worst = int(np.argmin(utilities))
+        raise AssertionError(
+            f"voluntary participation violated: truthful machine {worst} "
+            f"has utility {utilities[worst]:g}"
+        )
+
+
+def assert_truthful_on_grid(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    *,
+    tolerance: float = 1e-9,
+) -> None:
+    """Theorem 3.1 on the standard deviation grid.
+
+    Scans every agent's (bid, execution) deviations against truthful
+    opponents and fails on the first profitable one.
+    """
+    report = truthfulness_audit(mechanism, true_values, arrival_rate)
+    if report.max_gain > tolerance:
+        worst = report.worst()
+        raise AssertionError(
+            f"truthfulness violated: agent {worst.agent} gains "
+            f"{worst.gain:g} by bidding {worst.best_bid:g} "
+            f"(true value {np.asarray(true_values)[worst.agent]:g}) and "
+            f"executing at {worst.best_execution:g}"
+        )

@@ -1,0 +1,157 @@
+"""Result containers shared by the allocation, mechanism, and protocol layers.
+
+These are plain frozen dataclasses wrapping numpy arrays.  They carry
+enough context (bids, execution values, arrival rate) that downstream
+reporting code never has to re-derive inputs, and they expose a handful
+of derived quantities as properties so that callers do not duplicate
+formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "AllocationResult",
+    "PaymentResult",
+    "MechanismOutcome",
+]
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """Return a read-only float64 view/copy of ``arr``."""
+    out = np.asarray(arr, dtype=np.float64)
+    out = out.copy()
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of an allocation algorithm.
+
+    Attributes
+    ----------
+    loads:
+        Per-machine job arrival rates ``x_i`` (jobs/second).
+    arrival_rate:
+        Total arrival rate ``R`` that was split across machines.
+    bids:
+        The latency parameters the allocation was computed from (the
+        agents' declared values ``b_i``; equal to the true values in the
+        obedient/classical setting).
+    total_latency:
+        ``L(x) = sum_i b_i x_i^2`` evaluated at the *declared* parameters.
+        Note this is the latency the allocator believes it achieves; the
+        realised latency depends on execution values and is computed by
+        the mechanism layer.
+    """
+
+    loads: np.ndarray
+    arrival_rate: float
+    bids: np.ndarray
+    total_latency: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "loads", _readonly(self.loads))
+        object.__setattr__(self, "bids", _readonly(self.bids))
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines in the allocation."""
+        return int(self.loads.size)
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """Fraction of the total arrival rate routed to each machine."""
+        return self.loads / self.arrival_rate
+
+    def latency_under(self, execution_values: np.ndarray) -> float:
+        """Realised total latency if machines execute at ``execution_values``."""
+        execution_values = np.asarray(execution_values, dtype=np.float64)
+        return float(np.dot(execution_values, self.loads**2))
+
+
+@dataclass(frozen=True)
+class PaymentResult:
+    """Per-agent monetary quantities produced by a mechanism.
+
+    All arrays are indexed by machine.  The identities
+    ``payment = compensation + bonus`` and
+    ``utility = payment + valuation`` hold element-wise.
+    """
+
+    compensation: np.ndarray
+    bonus: np.ndarray
+    valuation: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "compensation", _readonly(self.compensation))
+        object.__setattr__(self, "bonus", _readonly(self.bonus))
+        object.__setattr__(self, "valuation", _readonly(self.valuation))
+
+    @property
+    def payment(self) -> np.ndarray:
+        """Total payment handed to each agent: compensation plus bonus."""
+        return self.compensation + self.bonus
+
+    @property
+    def utility(self) -> np.ndarray:
+        """Each agent's utility: payment plus (negative) valuation."""
+        return self.payment + self.valuation
+
+    @property
+    def total_payment(self) -> float:
+        """Sum of payments over all agents."""
+        return float(np.sum(self.payment))
+
+    @property
+    def total_valuation_magnitude(self) -> float:
+        """Sum of |valuation| over agents (total cost borne by agents)."""
+        return float(np.sum(np.abs(self.valuation)))
+
+
+@dataclass(frozen=True)
+class MechanismOutcome:
+    """Full outcome of one mechanism execution.
+
+    Combines the allocation computed from the bids, the realised total
+    latency under the observed execution values, and the payments.
+    """
+
+    allocation: AllocationResult
+    payments: PaymentResult
+    execution_values: np.ndarray
+    true_values: np.ndarray | None = None
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "execution_values", _readonly(self.execution_values))
+        if self.true_values is not None:
+            object.__setattr__(self, "true_values", _readonly(self.true_values))
+
+    @property
+    def realised_latency(self) -> float:
+        """Total latency actually experienced: ``sum_i t̃_i x_i^2``."""
+        return self.allocation.latency_under(self.execution_values)
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Shorthand for the per-machine loads of the allocation."""
+        return self.allocation.loads
+
+    @property
+    def frugality_ratio(self) -> float:
+        """Total payment divided by total valuation magnitude.
+
+        The paper (Fig. 6) reports this ratio staying below about 2.5
+        for the verification mechanism; 1.0 is the lower bound imposed
+        by voluntary participation.
+        """
+        denom = self.payments.total_valuation_magnitude
+        if denom == 0.0:
+            return float("nan")
+        return self.payments.total_payment / denom

@@ -1,0 +1,79 @@
+"""Unit tests for the numeric best-response optimiser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import best_response
+
+
+class TestAgainstTruthfulMechanism:
+    def test_best_response_is_truth(self, mechanism, small_true_values):
+        for agent in range(small_true_values.size):
+            br = best_response(mechanism, small_true_values, 10.0, agent)
+            assert br.is_truthful
+            assert br.bid == pytest.approx(small_true_values[agent])
+            assert br.execution_value == pytest.approx(small_true_values[agent])
+
+    def test_gain_is_zero(self, mechanism, small_true_values):
+        br = best_response(mechanism, small_true_values, 10.0, 0)
+        assert br.gain == pytest.approx(0.0, abs=1e-9)
+
+    def test_truth_dominates_against_lying_opponents(self, mechanism, small_true_values):
+        other_bids = small_true_values * np.array([1.0, 2.0, 0.5, 1.5])
+        br = best_response(
+            mechanism, small_true_values, 10.0, 0, other_bids=other_bids
+        )
+        assert br.is_truthful
+
+
+class TestAgainstDeclaredVariant:
+    def test_finds_the_profitable_overbid(self, declared_mechanism, small_true_values):
+        br = best_response(declared_mechanism, small_true_values, 10.0, 0)
+        assert not br.is_truthful
+        assert br.bid > small_true_values[0]
+        assert br.gain > 0.0
+
+    def test_optimum_is_interior(self, declared_mechanism, small_true_values):
+        # The found bid must be a stationary point of the utility.
+        br = best_response(declared_mechanism, small_true_values, 10.0, 0)
+        t = small_true_values
+        h = 1e-5
+
+        def utility(bid: float) -> float:
+            bids = t.copy()
+            bids[0] = bid
+            return float(
+                declared_mechanism.run(bids, 10.0, t).payments.utility[0]
+            )
+
+        slope = (utility(br.bid + h) - utility(br.bid - h)) / (2 * h)
+        assert abs(slope) < 1e-2
+
+    def test_never_prefers_slow_execution(self, declared_mechanism, small_true_values):
+        # Even in the broken variant, slow execution only raises cost.
+        br = best_response(declared_mechanism, small_true_values, 10.0, 0)
+        assert br.execution_value == pytest.approx(small_true_values[0])
+
+
+class TestValidation:
+    def test_agent_out_of_range(self, mechanism, small_true_values):
+        with pytest.raises(IndexError):
+            best_response(mechanism, small_true_values, 10.0, 7)
+
+    def test_execution_cap_below_one_rejected(self, mechanism, small_true_values):
+        with pytest.raises(ValueError):
+            best_response(
+                mechanism, small_true_values, 10.0, 0, execution_cap_factor=0.5
+            )
+
+    def test_other_bids_length_checked(self, mechanism, small_true_values):
+        with pytest.raises(ValueError):
+            best_response(
+                mechanism,
+                small_true_values,
+                10.0,
+                0,
+                other_bids=np.array([1.0, 2.0]),
+            )

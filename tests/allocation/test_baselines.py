@@ -1,0 +1,124 @@
+"""Unit tests for the naive dispatcher baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import pr_loads, water_filling_allocation
+from repro.allocation.baselines import (
+    capacity_proportional_split,
+    equal_split,
+    greedy_marginal_split,
+    random_split,
+)
+from repro.latency import LinearLatencyModel, MM1LatencyModel
+from repro.system.cluster import paper_cluster
+
+
+@pytest.fixture
+def linear_model():
+    return LinearLatencyModel(paper_cluster().true_values)
+
+
+class TestEqualSplit:
+    def test_uniform_loads(self, linear_model):
+        result = equal_split(linear_model, 20.0)
+        np.testing.assert_allclose(result.loads, 20.0 / 16)
+
+    def test_worse_than_optimum_on_heterogeneous_systems(self, linear_model):
+        naive = equal_split(linear_model, 20.0)
+        optimum = 400.0 / 5.1
+        assert naive.total_latency > optimum
+
+    def test_overload_detected_on_queueing_systems(self):
+        model = MM1LatencyModel([10.0, 0.4])
+        with pytest.raises(ValueError, match="overloads machine 1"):
+            equal_split(model, 2.0)
+
+    def test_optimal_on_homogeneous_systems(self):
+        model = LinearLatencyModel([2.0, 2.0, 2.0])
+        result = equal_split(model, 9.0)
+        assert result.total_latency == pytest.approx(
+            water_filling_allocation(model, 9.0).total_latency
+        )
+
+
+class TestCapacityProportional:
+    def test_equals_pr_for_linear_latencies(self, linear_model):
+        # A known coincidence of the linear class (Wardrop = optimum).
+        result = capacity_proportional_split(linear_model, 20.0)
+        np.testing.assert_allclose(
+            result.loads, pr_loads(paper_cluster().true_values, 20.0)
+        )
+
+    def test_not_optimal_for_mm1(self):
+        # ... and precisely *not* a coincidence that survives M/M/1.
+        model = MM1LatencyModel([2.0, 10.0])
+        proportional = capacity_proportional_split(model, 6.0)
+        optimum = water_filling_allocation(model, 6.0)
+        assert proportional.total_latency > optimum.total_latency * 1.0001
+
+    def test_conservation(self, linear_model):
+        result = capacity_proportional_split(linear_model, 20.0)
+        assert result.loads.sum() == pytest.approx(20.0)
+
+
+class TestRandomSplit:
+    def test_feasible_and_conserving(self, linear_model, rng):
+        result = random_split(linear_model, 20.0, rng)
+        assert result.loads.sum() == pytest.approx(20.0)
+        assert np.all(result.loads >= 0.0)
+
+    def test_respects_finite_capacity(self, rng):
+        model = MM1LatencyModel([3.0, 3.0])
+        result = random_split(model, 4.0, rng)
+        assert np.all(result.loads < model.load_capacity())
+
+    def test_never_beats_the_optimum(self, linear_model, rng):
+        optimum = water_filling_allocation(linear_model, 20.0).total_latency
+        for _ in range(25):
+            result = random_split(linear_model, 20.0, rng)
+            assert result.total_latency >= optimum - 1e-9
+
+    def test_impossible_load_raises(self, rng):
+        model = MM1LatencyModel([1.0, 1.0])
+        with pytest.raises(RuntimeError, match="feasible"):
+            random_split(model, 1.999, rng)
+
+
+class TestGreedyMarginal:
+    def test_converges_to_optimum_linear(self, linear_model):
+        greedy = greedy_marginal_split(linear_model, 20.0, n_chunks=4000)
+        optimum = 400.0 / 5.1
+        assert greedy.total_latency == pytest.approx(optimum, rel=1e-4)
+
+    def test_converges_to_optimum_mm1(self):
+        model = MM1LatencyModel([2.0, 4.0, 8.0])
+        greedy = greedy_marginal_split(model, 9.0, n_chunks=4000)
+        optimum = water_filling_allocation(model, 9.0)
+        assert greedy.total_latency == pytest.approx(
+            optimum.total_latency, rel=1e-4
+        )
+
+    def test_gap_shrinks_with_chunk_count(self, linear_model):
+        coarse = greedy_marginal_split(linear_model, 20.0, n_chunks=50)
+        fine = greedy_marginal_split(linear_model, 20.0, n_chunks=2000)
+        optimum = 400.0 / 5.1
+        assert abs(fine.total_latency - optimum) < abs(
+            coarse.total_latency - optimum
+        )
+
+    def test_respects_capacity(self):
+        model = MM1LatencyModel([1.2, 10.0])
+        result = greedy_marginal_split(model, 8.0, n_chunks=500)
+        assert np.all(result.loads < model.load_capacity())
+
+    def test_overload_raises(self):
+        model = MM1LatencyModel([1.0, 1.0])
+        with pytest.raises(ValueError, match="absorb"):
+            greedy_marginal_split(model, 2.5, n_chunks=100)
+
+    def test_chunk_validation(self, linear_model):
+        with pytest.raises(ValueError):
+            greedy_marginal_split(linear_model, 20.0, n_chunks=0)

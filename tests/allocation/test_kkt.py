@@ -1,0 +1,91 @@
+"""Unit tests for the water-filling allocator on all latency models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import pr_loads, water_filling_allocation
+from repro.latency import LinearLatencyModel, MG1LatencyModel, MM1LatencyModel
+
+
+class TestLinearModel:
+    def test_matches_pr_closed_form(self):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        model = LinearLatencyModel(t)
+        result = water_filling_allocation(model, 13.0)
+        np.testing.assert_allclose(result.loads, pr_loads(t, 13.0), rtol=1e-10)
+
+    def test_paper_configuration(self):
+        t = np.array([1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10.0])
+        result = water_filling_allocation(LinearLatencyModel(t), 20.0)
+        assert result.total_latency == pytest.approx(400.0 / 5.1, rel=1e-10)
+
+    def test_conservation_is_exact(self):
+        model = LinearLatencyModel([1.3, 2.7, 9.1])
+        result = water_filling_allocation(model, 4.321)
+        assert result.loads.sum() == pytest.approx(4.321, abs=1e-12)
+
+
+class TestMM1Model:
+    def test_conservation(self):
+        model = MM1LatencyModel([2.0, 4.0, 8.0])
+        result = water_filling_allocation(model, 10.0)
+        assert result.loads.sum() == pytest.approx(10.0)
+
+    def test_loads_below_capacity(self):
+        model = MM1LatencyModel([2.0, 4.0, 8.0])
+        result = water_filling_allocation(model, 13.0)
+        assert np.all(result.loads < model.mu)
+
+    def test_slow_machines_excluded_at_light_load(self):
+        # At very light load the fast machine's zero-load marginal
+        # (1/mu) is below the slow machine's, so only it gets traffic.
+        model = MM1LatencyModel([100.0, 1.0])
+        result = water_filling_allocation(model, 0.001)
+        assert result.loads[1] == pytest.approx(0.0, abs=1e-9)
+        assert result.loads[0] == pytest.approx(0.001)
+
+    def test_equal_marginals_on_loaded_machines(self):
+        model = MM1LatencyModel([2.0, 3.0, 5.0])
+        result = water_filling_allocation(model, 6.0)
+        loaded = result.loads > 1e-9
+        marginals = model.marginal(result.loads)[loaded]
+        assert np.ptp(marginals) / marginals.mean() < 1e-6
+
+    def test_infeasible_rate_rejected(self):
+        model = MM1LatencyModel([1.0, 1.0])
+        with pytest.raises(ValueError, match="capacity"):
+            water_filling_allocation(model, 2.0)
+
+
+class TestMG1Model:
+    def test_conservation(self):
+        model = MG1LatencyModel.exponential([2.0, 4.0])
+        result = water_filling_allocation(model, 3.0)
+        assert result.loads.sum() == pytest.approx(3.0)
+
+    def test_beats_random_feasible_allocations(self):
+        rng = np.random.default_rng(11)
+        model = MG1LatencyModel.exponential([2.0, 4.0, 8.0])
+        rate = 7.0
+        result = water_filling_allocation(model, rate)
+        for _ in range(100):
+            x = rng.dirichlet(np.ones(3)) * rate
+            if np.any(x >= model.load_capacity()):
+                continue
+            assert model.total_latency(x) >= result.total_latency - 1e-7
+
+    def test_light_load_matches_linearised_split(self):
+        model = MG1LatencyModel.exponential([2.0, 4.0])
+        linear = model.light_load_linearization()
+        rate = 1e-4
+        exact = water_filling_allocation(model, rate).loads
+        approx = water_filling_allocation(linear, rate).loads
+        np.testing.assert_allclose(exact, approx, rtol=1e-3)
+
+
+class TestValidation:
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            water_filling_allocation(LinearLatencyModel([1.0]), 0.0)

@@ -1,0 +1,137 @@
+"""Unit tests for the PR algorithm (Theorem 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    optimal_latency_excluding_each,
+    optimal_latency_without,
+    optimal_total_latency,
+    pr_allocation,
+    pr_loads,
+)
+
+
+class TestPrLoads:
+    def test_equal_machines_split_equally(self):
+        np.testing.assert_allclose(pr_loads([2.0, 2.0, 2.0], 9.0), [3.0, 3.0, 3.0])
+
+    def test_proportional_to_processing_rate(self):
+        # rates 1 and 1/3 -> loads 3:1
+        np.testing.assert_allclose(pr_loads([1.0, 3.0], 8.0), [6.0, 2.0])
+
+    def test_conservation(self):
+        loads = pr_loads([1.0, 2.0, 5.0, 10.0], 13.7)
+        assert loads.sum() == pytest.approx(13.7)
+
+    def test_positivity(self):
+        loads = pr_loads([1.0, 1000.0], 1.0)
+        assert np.all(loads > 0.0)
+
+    def test_faster_machine_gets_more(self):
+        loads = pr_loads([1.0, 2.0], 10.0)
+        assert loads[0] > loads[1]
+
+    def test_single_machine_gets_everything(self):
+        np.testing.assert_allclose(pr_loads([7.0], 4.0), [4.0])
+
+    def test_scale_invariance_in_t(self):
+        # Scaling all slopes by a constant does not change the split.
+        a = pr_loads([1.0, 2.0, 3.0], 5.0)
+        b = pr_loads([10.0, 20.0, 30.0], 5.0)
+        np.testing.assert_allclose(a, b)
+
+    def test_linear_in_arrival_rate(self):
+        a = pr_loads([1.0, 2.0], 5.0)
+        b = pr_loads([1.0, 2.0], 10.0)
+        np.testing.assert_allclose(2 * a, b)
+
+    def test_rejects_nonpositive_bids(self):
+        with pytest.raises(ValueError):
+            pr_loads([1.0, 0.0], 5.0)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            pr_loads([1.0], 0.0)
+
+
+class TestOptimality:
+    """The PR allocation minimises L among feasible allocations."""
+
+    def test_closed_form_latency(self):
+        # L* = R^2 / sum(1/t)
+        assert optimal_total_latency([1.0, 1.0], 10.0) == pytest.approx(50.0)
+
+    def test_paper_value(self):
+        t = [1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10]
+        assert optimal_total_latency(t, 20.0) == pytest.approx(400.0 / 5.1)
+
+    def test_beats_random_feasible_allocations(self):
+        rng = np.random.default_rng(3)
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        rate = 12.0
+        best = optimal_total_latency(t, rate)
+        for _ in range(200):
+            x = rng.dirichlet(np.ones(4)) * rate
+            assert float(np.dot(t, x**2)) >= best - 1e-9
+
+    def test_kkt_equal_marginals(self):
+        # At the optimum every machine has equal marginal 2 t x.
+        t = np.array([1.0, 2.0, 5.0])
+        x = pr_loads(t, 7.0)
+        marginals = 2 * t * x
+        assert np.ptp(marginals) < 1e-9
+
+
+class TestAllocationResult:
+    def test_packaged_fields(self):
+        result = pr_allocation([1.0, 3.0], 8.0)
+        np.testing.assert_allclose(result.loads, [6.0, 2.0])
+        assert result.arrival_rate == 8.0
+        np.testing.assert_allclose(result.bids, [1.0, 3.0])
+        assert result.total_latency == pytest.approx(36.0 + 12.0)
+
+    def test_total_latency_consistent_with_loads(self):
+        result = pr_allocation([1.0, 2.0, 5.0], 11.0)
+        recomputed = float(np.dot(result.bids, result.loads**2))
+        assert result.total_latency == pytest.approx(recomputed)
+
+
+class TestLeaveOneOut:
+    def test_vectorised_matches_scalar(self):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        all_excluded = optimal_latency_excluding_each(t, 9.0)
+        for i in range(4):
+            assert all_excluded[i] == pytest.approx(
+                optimal_latency_without(t, i, 9.0)
+            )
+
+    def test_matches_direct_recomputation(self):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        for i in range(4):
+            rest = np.delete(t, i)
+            assert optimal_latency_without(t, i, 9.0) == pytest.approx(
+                optimal_total_latency(rest, 9.0)
+            )
+
+    def test_excluding_fast_machine_hurts_more(self):
+        t = np.array([1.0, 10.0, 10.0])
+        excluded = optimal_latency_excluding_each(t, 5.0)
+        assert excluded[0] > excluded[1]
+
+    def test_exclusion_never_helps(self):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        base = optimal_total_latency(t, 9.0)
+        assert np.all(optimal_latency_excluding_each(t, 9.0) >= base)
+
+    def test_single_machine_rejected(self):
+        with pytest.raises(ValueError, match="two machines"):
+            optimal_latency_excluding_each([1.0], 5.0)
+        with pytest.raises(ValueError, match="two machines"):
+            optimal_latency_without([1.0], 0, 5.0)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            optimal_latency_without([1.0, 2.0], 2, 5.0)

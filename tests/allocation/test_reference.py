@@ -1,0 +1,54 @@
+"""Cross-checks of the analytic allocators against the SLSQP reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    pr_loads,
+    scipy_allocation,
+    water_filling_allocation,
+)
+from repro.latency import LinearLatencyModel, MG1LatencyModel, MM1LatencyModel
+
+
+class TestAgainstScipy:
+    def test_linear_agrees(self):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        model = LinearLatencyModel(t)
+        reference = scipy_allocation(model, 12.0)
+        np.testing.assert_allclose(
+            reference.loads, pr_loads(t, 12.0), rtol=1e-5, atol=1e-6
+        )
+
+    def test_mm1_agrees(self):
+        model = MM1LatencyModel([2.0, 4.0, 8.0])
+        ours = water_filling_allocation(model, 9.0)
+        reference = scipy_allocation(model, 9.0)
+        assert reference.total_latency == pytest.approx(
+            ours.total_latency, rel=1e-6
+        )
+
+    def test_mg1_agrees(self):
+        model = MG1LatencyModel.exponential([2.0, 4.0])
+        ours = water_filling_allocation(model, 3.5)
+        reference = scipy_allocation(model, 3.5)
+        assert reference.total_latency == pytest.approx(
+            ours.total_latency, rel=1e-6
+        )
+
+    def test_paper_configuration_agrees(self):
+        t = np.array([1, 1, 2, 2, 2, 5, 5, 5, 5, 5, 10, 10, 10, 10, 10, 10.0])
+        model = LinearLatencyModel(t)
+        reference = scipy_allocation(model, 20.0)
+        assert reference.total_latency == pytest.approx(400.0 / 5.1, rel=1e-6)
+
+    def test_reference_respects_conservation(self):
+        model = LinearLatencyModel([1.0, 3.0])
+        reference = scipy_allocation(model, 5.0)
+        assert reference.loads.sum() == pytest.approx(5.0)
+
+    def test_reference_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            scipy_allocation(LinearLatencyModel([1.0]), -1.0)

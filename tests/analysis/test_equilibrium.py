@@ -1,0 +1,79 @@
+"""Unit tests for equilibrium and noisy-verification analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dominant_strategy_grid,
+    epsilon_truthfulness_under_noise,
+)
+from repro.mechanism import VerificationMechanism
+
+
+class TestDominantStrategyGrid:
+    def test_verification_mechanism_dominant(self, mechanism, small_true_values, rng):
+        result = dominant_strategy_grid(
+            mechanism, small_true_values, 10.0, 0, rng, n_opponent_profiles=10
+        )
+        assert result.holds
+        assert result.profiles_checked == 10
+        assert result.deviations_checked == 10 * 6 * 4
+
+    def test_declared_variant_fails_dominance(
+        self, declared_mechanism, small_true_values, rng
+    ):
+        result = dominant_strategy_grid(
+            declared_mechanism, small_true_values, 10.0, 0, rng,
+            n_opponent_profiles=5,
+        )
+        assert not result.holds
+        assert result.max_gain > 0.0
+
+    def test_every_agent_position_checked(self, mechanism, small_true_values, rng):
+        for agent in range(small_true_values.size):
+            result = dominant_strategy_grid(
+                mechanism, small_true_values, 10.0, agent, rng,
+                n_opponent_profiles=3,
+            )
+            assert result.holds
+
+    def test_execution_factor_validation(self, mechanism, small_true_values, rng):
+        with pytest.raises(ValueError):
+            dominant_strategy_grid(
+                mechanism, small_true_values, 10.0, 0, rng, exec_factors=(0.5,)
+            )
+
+
+class TestEpsilonUnderNoise:
+    def test_zero_noise_gives_zero_epsilon(self, mechanism, small_true_values, rng):
+        eps = epsilon_truthfulness_under_noise(
+            mechanism, small_true_values, 10.0, 0, rng,
+            noise_relative_std=0.0, n_samples=5,
+        )
+        assert eps == pytest.approx(0.0, abs=1e-9)
+
+    def test_unbiased_noise_keeps_truthfulness_in_expectation(
+        self, mechanism, small_true_values, rng
+    ):
+        # Structural fact: the payment is independent of the agent's own
+        # observed value, so unbiased estimation noise does not open a
+        # profitable deviation (up to Monte-Carlo error).
+        eps = epsilon_truthfulness_under_noise(
+            mechanism, small_true_values, 10.0, 0, rng,
+            noise_relative_std=0.05, n_samples=300,
+        )
+        assert eps < 0.2
+
+    def test_validation(self, mechanism, small_true_values, rng):
+        with pytest.raises(ValueError):
+            epsilon_truthfulness_under_noise(
+                mechanism, small_true_values, 10.0, 0, rng,
+                noise_relative_std=-0.1,
+            )
+        with pytest.raises(ValueError):
+            epsilon_truthfulness_under_noise(
+                mechanism, small_true_values, 10.0, 0, rng,
+                noise_relative_std=0.1, n_samples=0,
+            )

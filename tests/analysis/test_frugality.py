@@ -1,0 +1,58 @@
+"""Unit tests for frugality analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import frugality_across_mechanisms, frugality_by_scenario
+from repro.mechanism import (
+    ArcherTardosMechanism,
+    VCGMechanism,
+    VerificationMechanism,
+)
+from repro.system.cluster import paper_cluster
+
+
+class TestFrugalityByScenario:
+    def test_all_scenarios_reported(self):
+        records = frugality_by_scenario()
+        assert [r.label for r in records] == [
+            "True1", "True2", "High1", "High2", "High3", "High4", "Low1", "Low2",
+        ]
+
+    def test_true1_within_paper_band(self):
+        true1 = frugality_by_scenario()[0]
+        assert 1.0 <= true1.ratio <= 2.5
+
+    def test_ratio_property(self):
+        record = frugality_by_scenario()[0]
+        assert record.ratio == pytest.approx(
+            record.total_payment / record.total_valuation
+        )
+
+
+class TestFrugalityAcrossMechanisms:
+    def test_all_three_mechanisms_coincide_on_truth(self):
+        # At the truthful profile all three payment rules are identical
+        # (VCG == AT algebraically; verification == VCG when execution
+        # matches bids), so truthful frugality is mechanism-independent.
+        t = paper_cluster().true_values
+        records = frugality_across_mechanisms(
+            {
+                "verification": VerificationMechanism(),
+                "vcg": VCGMechanism(),
+                "archer-tardos": ArcherTardosMechanism(),
+            },
+            t,
+            20.0,
+        )
+        ratios = [r.ratio for r in records]
+        assert ratios[0] == pytest.approx(ratios[1])
+        assert ratios[1] == pytest.approx(ratios[2])
+        assert 1.0 <= ratios[0] <= 2.5
+
+    def test_labels_preserved(self):
+        records = frugality_across_mechanisms(
+            {"only": VerificationMechanism()}, paper_cluster().true_values, 20.0
+        )
+        assert records[0].label == "only"

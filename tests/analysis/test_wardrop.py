@@ -1,0 +1,84 @@
+"""Unit tests for the Wardrop equilibrium and price of anarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import pr_loads
+from repro.analysis.wardrop import price_of_anarchy, wardrop_equilibrium
+from repro.latency import LinearLatencyModel, MM1LatencyModel
+from repro.latency.affine import AffineLatencyModel
+
+
+class TestEquilibriumConditions:
+    def test_conservation(self):
+        model = AffineLatencyModel([0.5, 2.0, 1.0], [1.0, 0.5, 2.0])
+        eq = wardrop_equilibrium(model, 5.0)
+        assert eq.loads.sum() == pytest.approx(5.0)
+
+    def test_equal_latency_on_used_machines(self):
+        model = AffineLatencyModel([0.5, 2.0, 1.0], [1.0, 0.5, 2.0])
+        eq = wardrop_equilibrium(model, 5.0)
+        used = eq.loads > 1e-9
+        latencies = model.per_job(eq.loads)[used]
+        assert np.ptp(latencies) / latencies.mean() < 1e-6
+
+    def test_unused_machines_are_no_faster(self):
+        # A slow-start machine stays idle at low rates, and its idle
+        # latency must be at least the common level.
+        model = AffineLatencyModel([0.0, 10.0], [1.0, 1.0])
+        eq = wardrop_equilibrium(model, 2.0)
+        assert eq.loads[1] == pytest.approx(0.0, abs=1e-9)
+        level = model.per_job(eq.loads)[0]
+        assert 10.0 >= level
+
+    def test_mm1_equilibrium(self):
+        model = MM1LatencyModel([2.0, 4.0])
+        eq = wardrop_equilibrium(model, 3.0)
+        assert eq.loads.sum() == pytest.approx(3.0)
+        latencies = model.per_job(eq.loads)
+        assert latencies[0] == pytest.approx(latencies[1], rel=1e-6)
+
+    def test_infeasible_rate_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            wardrop_equilibrium(MM1LatencyModel([1.0, 1.0]), 2.0)
+
+
+class TestLinearCoincidence:
+    """For the paper's zero-intercept model, selfish = optimal (PoA = 1)."""
+
+    def test_equilibrium_equals_pr_allocation(self):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        model = LinearLatencyModel(t)
+        eq = wardrop_equilibrium(model, 12.0)
+        np.testing.assert_allclose(eq.loads, pr_loads(t, 12.0), rtol=1e-6)
+
+    def test_poa_is_one(self):
+        model = LinearLatencyModel([1.0, 2.0, 5.0])
+        result = price_of_anarchy(model, 8.0)
+        assert result.price_of_anarchy == pytest.approx(1.0, abs=1e-9)
+
+    def test_paper_configuration_poa(self, cluster):
+        result = price_of_anarchy(cluster.latency_model(), 20.0)
+        assert result.price_of_anarchy == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPigouAndBounds:
+    def test_pigou_attains_four_thirds(self):
+        # l1(x) ~ 1 (constant), l2(x) = x, R = 1: the classic worst case.
+        model = AffineLatencyModel([1.0, 0.0], [1e-9, 1.0])
+        result = price_of_anarchy(model, 1.0)
+        assert result.price_of_anarchy == pytest.approx(4.0 / 3.0, rel=1e-4)
+
+    def test_poa_at_least_one(self):
+        model = AffineLatencyModel([0.5, 2.0, 1.0], [1.0, 0.5, 2.0])
+        result = price_of_anarchy(model, 5.0)
+        assert result.price_of_anarchy >= 1.0 - 1e-12
+
+    def test_common_latency_reported(self):
+        model = AffineLatencyModel([0.5, 2.0, 1.0], [1.0, 0.5, 2.0])
+        result = price_of_anarchy(model, 5.0)
+        used = result.equilibrium.loads > 1e-9
+        per_job = model.per_job(result.equilibrium.loads)
+        assert result.common_latency == pytest.approx(float(per_job[used].mean()))

@@ -1,0 +1,60 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.table1 import table1_configuration
+from repro.mechanism import (
+    ArcherTardosMechanism,
+    VCGMechanism,
+    VerificationMechanism,
+)
+from repro.system.cluster import paper_cluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator; tests must not use global state."""
+    return np.random.default_rng(20030422)  # IPDPS 2003 conference date
+
+
+@pytest.fixture
+def cluster():
+    """The paper's 16-machine Table 1 cluster."""
+    return paper_cluster()
+
+
+@pytest.fixture
+def config():
+    """The full Table 1 configuration (cluster + arrival rate 20)."""
+    return table1_configuration()
+
+
+@pytest.fixture
+def mechanism() -> VerificationMechanism:
+    """The paper's mechanism with the formal (observed) compensation."""
+    return VerificationMechanism()
+
+
+@pytest.fixture
+def declared_mechanism() -> VerificationMechanism:
+    """The non-truthful declared-compensation variant."""
+    return VerificationMechanism("declared")
+
+
+@pytest.fixture
+def vcg() -> VCGMechanism:
+    return VCGMechanism()
+
+
+@pytest.fixture
+def archer_tardos() -> ArcherTardosMechanism:
+    return ArcherTardosMechanism()
+
+
+@pytest.fixture
+def small_true_values() -> np.ndarray:
+    """A 4-machine system small enough for exhaustive deviation scans."""
+    return np.array([1.0, 2.0, 5.0, 10.0])

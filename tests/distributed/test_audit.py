@@ -1,0 +1,81 @@
+"""Unit tests for the aggregation-tampering audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import random_tree_overlay, star_overlay, tree_sum
+from repro.distributed.audit import (
+    double_tree_check,
+    tree_sum_with_relay_faults,
+)
+
+
+class TestFaultInjectionPrimitive:
+    def test_no_faults_matches_plain_tree_sum(self, rng):
+        overlay = random_tree_overlay(12, rng)
+        values = rng.uniform(0.0, 5.0, size=12)
+        plain, _stats = tree_sum(overlay, values)
+        faulty = tree_sum_with_relay_faults(overlay, values, None)
+        assert faulty == pytest.approx(plain)
+
+    def test_relay_bias_shifts_the_total(self, rng):
+        overlay = star_overlay(4)
+        values = np.ones(4)
+        # In a star every machine is a leaf relay of its own value.
+        total = tree_sum_with_relay_faults(
+            overlay, values, {0: lambda s: s + 10.0}
+        )
+        assert total == pytest.approx(14.0)
+
+    def test_length_checked(self, rng):
+        overlay = star_overlay(3)
+        with pytest.raises(ValueError):
+            tree_sum_with_relay_faults(overlay, np.ones(4))
+
+
+class TestDoubleTreeCheck:
+    def test_honest_runs_agree(self, rng):
+        values = rng.uniform(0.0, 10.0, size=20)
+        check = double_tree_check(values, rng)
+        assert check.consistent
+        assert check.agreed_total == pytest.approx(float(values.sum()))
+
+    def test_multiplicative_skimming_detected(self):
+        # Corruption proportional to the forwarded subtotal roots
+        # different subtrees in the two draws -> totals disagree.
+        values = np.arange(1.0, 21.0)
+        detections = 0
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            check = double_tree_check(
+                values, rng, relay_bias={3: lambda s: 0.9 * s}
+            )
+            detections += not check.consistent
+        assert detections >= 18  # whp, across seeds
+
+    def test_constant_additive_bias_escapes(self, rng):
+        # The documented boundary: position-independent corruption is
+        # indistinguishable from input corruption.
+        values = np.arange(1.0, 11.0)
+        check = double_tree_check(
+            values, rng, relay_bias={2: lambda s: s + 5.0}
+        )
+        assert check.consistent  # consistent... and consistently wrong
+        assert check.agreed_total == pytest.approx(values.sum() + 5.0)
+
+    def test_lying_leaf_escapes(self, rng):
+        # A machine misreporting its own value corrupts the *input*;
+        # no aggregation-level check can see it.
+        honest = np.arange(1.0, 11.0)
+        lied = honest.copy()
+        lied[4] *= 3.0
+        check = double_tree_check(lied, rng)
+        assert check.consistent
+        assert check.agreed_total != pytest.approx(float(honest.sum()))
+
+    def test_tolerance_absorbs_float_noise(self, rng):
+        values = rng.uniform(0.0, 1.0, size=50)
+        check = double_tree_check(values, rng, tolerance=1e-9)
+        assert check.consistent

@@ -1,0 +1,91 @@
+"""Unit tests for the overlay topologies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.distributed import random_tree_overlay, star_overlay, tree_overlay
+from repro.distributed.topology import ROOT, Overlay
+
+
+class TestStarOverlay:
+    def test_shape(self):
+        overlay = star_overlay(5)
+        assert overlay.n_machines == 5
+        assert overlay.n_edges == 5
+        assert overlay.depth() == 1
+
+    def test_all_machines_children_of_root(self):
+        overlay = star_overlay(4)
+        assert sorted(overlay.children(ROOT)) == [0, 1, 2, 3]
+
+    def test_single_machine(self):
+        assert star_overlay(1).n_machines == 1
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError):
+            star_overlay(0)
+
+
+class TestTreeOverlay:
+    def test_binary_tree_depth_logarithmic(self):
+        overlay = tree_overlay(30, arity=2)
+        assert overlay.n_machines == 30
+        assert overlay.depth() <= 5  # ~log2(30) + 1
+
+    def test_unary_tree_is_a_chain(self):
+        overlay = tree_overlay(5, arity=1)
+        assert overlay.depth() == 5
+
+    def test_every_node_has_at_most_arity_children(self):
+        overlay = tree_overlay(50, arity=3)
+        for node in overlay.graph.nodes:
+            assert len(overlay.children(node)) <= 3
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            tree_overlay(5, arity=0)
+
+
+class TestRandomTreeOverlay:
+    def test_is_a_tree(self, rng):
+        overlay = random_tree_overlay(40, rng)
+        assert nx.is_tree(overlay.graph)
+        assert overlay.n_machines == 40
+
+    def test_reproducible(self):
+        a = random_tree_overlay(20, np.random.default_rng(5))
+        b = random_tree_overlay(20, np.random.default_rng(5))
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+
+class TestOverlayOperations:
+    def test_bottom_up_order_children_first(self):
+        overlay = tree_overlay(10, arity=2)
+        order = overlay.bottom_up_order()
+        position = {node: k for k, node in enumerate(order)}
+        for child, parent in overlay.parent.items():
+            assert position[child] < position[parent]
+        assert order[-1] == ROOT
+
+    def test_top_down_order_parents_first(self):
+        overlay = tree_overlay(10, arity=2)
+        order = overlay.top_down_order()
+        position = {node: k for k, node in enumerate(order)}
+        for child, parent in overlay.parent.items():
+            assert position[parent] < position[child]
+        assert order[0] == ROOT
+
+    def test_non_tree_rejected(self):
+        graph = nx.cycle_graph(4)
+        graph.add_node(ROOT)
+        graph.add_edge(ROOT, 0)
+        with pytest.raises(ValueError, match="tree"):
+            Overlay(graph=graph, parent={})
+
+    def test_missing_root_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError, match="root"):
+            Overlay(graph=graph, parent={})

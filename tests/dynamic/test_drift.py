@@ -1,0 +1,68 @@
+"""Unit tests for the drift processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic import GeometricRandomWalkDrift, RegimeSwitchDrift
+
+
+class TestGeometricRandomWalk:
+    def test_zero_sigma_is_identity(self, rng):
+        drift = GeometricRandomWalkDrift(0.0, rng)
+        t = np.array([1.0, 5.0])
+        np.testing.assert_allclose(drift.step(t), t)
+
+    def test_values_stay_positive_and_bounded(self, rng):
+        drift = GeometricRandomWalkDrift(1.0, rng, bounds=(0.5, 2.0))
+        t = np.array([1.0, 1.0, 1.0])
+        for _ in range(100):
+            t = drift.step(t)
+            assert np.all(t >= 0.5)
+            assert np.all(t <= 2.0)
+
+    def test_step_size_scales_with_sigma(self):
+        t = np.full(2000, 1.0)
+        small = GeometricRandomWalkDrift(0.01, np.random.default_rng(1)).step(t)
+        large = GeometricRandomWalkDrift(0.2, np.random.default_rng(1)).step(t)
+        assert np.std(np.log(large)) > np.std(np.log(small))
+
+    def test_drift_is_unbiased_in_log_space(self):
+        t = np.full(20000, 1.0)
+        stepped = GeometricRandomWalkDrift(0.1, np.random.default_rng(2)).step(t)
+        assert abs(float(np.mean(np.log(stepped)))) < 0.01
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            GeometricRandomWalkDrift(-0.1, rng)
+        with pytest.raises(ValueError):
+            GeometricRandomWalkDrift(0.1, rng, bounds=(2.0, 1.0))
+
+
+class TestRegimeSwitch:
+    def test_zero_probability_is_identity(self, rng):
+        drift = RegimeSwitchDrift(0.0, rng)
+        t = np.array([1.0, 5.0])
+        np.testing.assert_allclose(drift.step(t), t)
+
+    def test_probability_one_redraws_everything(self, rng):
+        drift = RegimeSwitchDrift(1.0, rng, t_range=(2.0, 3.0))
+        t = np.array([10.0, 10.0, 10.0])
+        stepped = drift.step(t)
+        assert np.all(stepped >= 2.0)
+        assert np.all(stepped <= 3.0)
+
+    def test_switch_rate_matches_probability(self):
+        rng = np.random.default_rng(3)
+        drift = RegimeSwitchDrift(0.25, rng, t_range=(1.0, 10.0))
+        t = np.full(20000, 100.0)  # outside t_range: switches are visible
+        stepped = drift.step(t)
+        switched_fraction = float(np.mean(stepped != 100.0))
+        assert switched_fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            RegimeSwitchDrift(1.5, rng)
+        with pytest.raises(ValueError):
+            RegimeSwitchDrift(0.5, rng, t_range=(0.0, 1.0))

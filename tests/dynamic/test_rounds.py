@@ -1,0 +1,101 @@
+"""Unit tests for the repeated mechanism simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    GeometricRandomWalkDrift,
+    RegimeSwitchDrift,
+    RepeatedMechanismSimulation,
+)
+
+
+class _FrozenDrift:
+    """No drift at all, for exactness tests."""
+
+    def step(self, true_values):
+        return true_values
+
+
+def _simulation(drift, rebid_period=1, n=4, rate=8.0):
+    t = np.array([1.0, 2.0, 5.0, 10.0])[:n]
+    return RepeatedMechanismSimulation(
+        t, rate, drift, rebid_period=rebid_period
+    )
+
+
+class TestStationarySystem:
+    def test_no_drift_means_no_staleness(self):
+        sim = _simulation(_FrozenDrift(), rebid_period=10)
+        records = sim.run(30)
+        for record in records:
+            assert record.staleness_ratio == pytest.approx(1.0)
+
+    def test_rebid_schedule(self):
+        sim = _simulation(_FrozenDrift(), rebid_period=5)
+        records = sim.run(12)
+        assert [r.rebid for r in records] == [
+            k % 5 == 0 for k in range(12)
+        ]
+
+    def test_message_accounting(self):
+        sim = _simulation(_FrozenDrift(), rebid_period=5)
+        records = sim.run(10)
+        # Rounds at epochs 0 and 5: two rounds of 5n = 20 messages.
+        assert RepeatedMechanismSimulation.total_messages(records) == 2 * 5 * 4
+
+
+class TestDriftingSystem:
+    def test_staleness_at_least_one(self, rng):
+        drift = GeometricRandomWalkDrift(0.2, rng)
+        sim = _simulation(drift, rebid_period=4)
+        records = sim.run(60)
+        assert all(r.staleness_ratio >= 1.0 - 1e-12 for r in records)
+
+    def test_rebid_epoch_is_optimal(self, rng):
+        drift = GeometricRandomWalkDrift(0.3, rng)
+        sim = _simulation(drift, rebid_period=7)
+        records = sim.run(40)
+        for record in records:
+            if record.rebid:
+                assert record.staleness_ratio == pytest.approx(1.0)
+
+    def test_more_frequent_rebids_reduce_staleness(self):
+        def mean_staleness(period: int) -> float:
+            drift = RegimeSwitchDrift(
+                0.3, np.random.default_rng(5), t_range=(1.0, 10.0)
+            )
+            sim = _simulation(drift, rebid_period=period)
+            return RepeatedMechanismSimulation.mean_staleness(sim.run(300))
+
+        fast = mean_staleness(1)
+        slow = mean_staleness(20)
+        assert fast == pytest.approx(1.0)
+        assert slow > fast
+
+    def test_messages_trade_against_staleness(self):
+        drift = RegimeSwitchDrift(0.3, np.random.default_rng(6))
+        cheap = _simulation(drift, rebid_period=20).run(100)
+        drift2 = RegimeSwitchDrift(0.3, np.random.default_rng(6))
+        chatty = _simulation(drift2, rebid_period=1).run(100)
+        assert (
+            RepeatedMechanismSimulation.total_messages(cheap)
+            < RepeatedMechanismSimulation.total_messages(chatty)
+        )
+
+
+class TestValidation:
+    def test_bad_period(self, rng):
+        with pytest.raises(ValueError):
+            _simulation(_FrozenDrift(), rebid_period=0)
+
+    def test_bad_epochs(self):
+        sim = _simulation(_FrozenDrift())
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedMechanismSimulation.mean_staleness([])

@@ -1,0 +1,54 @@
+"""Unit tests for the text report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render_records, render_table, run_all_scenarios
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_title_line(self):
+        text = render_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_precision(self):
+        text = render_table(["x"], [[3.14159]], precision=4)
+        assert "3.1416" in text
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            render_table(["a", "b"], [[1]])
+
+    def test_columns_aligned(self):
+        text = render_table(["col"], [[1.0], [100.0]])
+        rows = text.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderRecords:
+    def test_contains_all_scenarios(self):
+        text = render_records(run_all_scenarios())
+        for name in ("True1", "High4", "Low2"):
+            assert name in text
+
+    def test_degradation_zero_for_true1(self):
+        text = render_records(run_all_scenarios())
+        true1_row = next(l for l in text.splitlines() if "True1" in l)
+        assert "0.00" in true1_row
+
+    def test_explicit_optimum(self):
+        records = run_all_scenarios()
+        text = render_records(records, optimum=records[0].total_latency)
+        assert "Table 2" in text

@@ -1,0 +1,48 @@
+"""Unit tests for the Table 1 configuration module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import table1_configuration
+from repro.experiments.table1 import (
+    TABLE1_ARRIVAL_RATE,
+    TABLE1_TRUE_VALUES,
+    Table1Configuration,
+)
+
+
+class TestTable1Consistency:
+    def test_groups_expand_to_the_cluster(self):
+        config = table1_configuration()
+        expanded = []
+        sizes = {"C1 - C2": 2, "C3 - C5": 3, "C6 - C10": 5, "C11 - C16": 6}
+        for label, value in config.groups:
+            expanded.extend([value] * sizes[label])
+        np.testing.assert_allclose(config.cluster.true_values, expanded)
+
+    def test_module_constants_match(self):
+        config = table1_configuration()
+        np.testing.assert_allclose(config.cluster.true_values, TABLE1_TRUE_VALUES)
+        assert config.arrival_rate == TABLE1_ARRIVAL_RATE == 20.0
+
+    def test_configuration_is_frozen(self):
+        config = table1_configuration()
+        with pytest.raises(AttributeError):
+            config.arrival_rate = 5.0
+
+    def test_each_call_is_equivalent(self):
+        a = table1_configuration()
+        b = table1_configuration()
+        np.testing.assert_allclose(a.cluster.true_values, b.cluster.true_values)
+
+    def test_type(self):
+        assert isinstance(table1_configuration(), Table1Configuration)
+
+    def test_headline_optimum_derives_from_the_constants(self):
+        # The single arithmetic fact everything else hangs on.
+        optimum = TABLE1_ARRIVAL_RATE**2 / float(
+            np.sum(1.0 / np.asarray(TABLE1_TRUE_VALUES))
+        )
+        assert optimum == pytest.approx(78.43, abs=0.005)

@@ -1,0 +1,100 @@
+"""Unit tests for the Kingman G/G/1 model, validated three ways."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency import MG1LatencyModel, MM1LatencyModel
+from repro.latency.kingman import KingmanLatencyModel
+from repro.system.queueing import lindley_waits
+
+
+class TestExactSpecialCases:
+    def test_exact_for_mm1(self):
+        # Kingman with c_a = c_s = 1 equals the exact M/M/1 *waiting*
+        # time 1/(mu-x) - 1/mu.
+        mu = np.array([2.0, 4.0])
+        kingman = KingmanLatencyModel.mm1(mu)
+        mm1 = MM1LatencyModel(mu)
+        x = np.array([1.1, 2.7])
+        expected = mm1.per_job(x) - 1.0 / mu
+        np.testing.assert_allclose(kingman.per_job(x), expected, rtol=1e-12)
+
+    def test_matches_pollaczek_khinchine_for_mg1(self):
+        # Poisson arrivals (c_a = 1), deterministic service (c_s = 0).
+        s = np.array([0.4, 0.25])
+        kingman = KingmanLatencyModel(s, arrival_scv=1.0, service_scv=0.0)
+        pk = MG1LatencyModel.deterministic(s)
+        x = np.array([1.5, 2.0])
+        np.testing.assert_allclose(kingman.per_job(x), pk.per_job(x), rtol=1e-12)
+
+    def test_deterministic_everything_never_waits(self):
+        # c_a = c_s = 0 (D/D/1 below capacity): zero waiting at any load.
+        model = KingmanLatencyModel([0.5], arrival_scv=0.0, service_scv=0.0)
+        assert model.per_job([1.5])[0] == 0.0
+
+
+class TestHeavyTrafficValidation:
+    def test_gg1_simulation_uniform_arrivals(self, rng):
+        # G/G/1: uniform interarrivals (c_a^2 = 1/3), exponential
+        # service (c_s^2 = 1), at 80% utilisation — the heavy-traffic
+        # regime where Kingman is accurate.
+        rate, mu = 1.6, 2.0
+        n = 400_000
+        interarrival = rng.uniform(0.0, 2.0 / rate, size=n - 1)
+        service = rng.exponential(1.0 / mu, size=n)
+        waits = lindley_waits(interarrival, service)
+        simulated = float(waits[n // 5 :].mean())
+
+        model = KingmanLatencyModel(
+            [1.0 / mu], arrival_scv=1.0 / 3.0, service_scv=1.0
+        )
+        predicted = model.per_job([rate])[0]
+        assert simulated == pytest.approx(predicted, rel=0.1)
+
+    def test_lower_arrival_variability_means_less_waiting(self):
+        poisson = KingmanLatencyModel([0.5], arrival_scv=1.0)
+        clocked = KingmanLatencyModel([0.5], arrival_scv=0.0)
+        assert clocked.per_job([1.5])[0] < poisson.per_job([1.5])[0]
+
+
+class TestModelInterface:
+    def test_marginal_matches_numerical_derivative(self):
+        model = KingmanLatencyModel([0.4, 0.2], arrival_scv=0.5, service_scv=2.0)
+        x = np.array([1.2, 3.0])
+        h = 1e-7
+        for i in range(2):
+            up, down = x.copy(), x.copy()
+            up[i] += h
+            down[i] -= h
+            numeric = (model.total(up)[i] - model.total(down)[i]) / (2 * h)
+            assert model.marginal(x)[i] == pytest.approx(numeric, rel=1e-5)
+
+    def test_marginal_inverse_round_trips(self):
+        model = KingmanLatencyModel([0.4, 0.2], arrival_scv=0.5, service_scv=2.0)
+        x = np.array([1.0, 2.5])
+        g = model.marginal(x)
+        np.testing.assert_allclose(model.marginal_inverse(g), x, rtol=1e-9)
+
+    def test_capacity(self):
+        model = KingmanLatencyModel([0.5, 0.25])
+        np.testing.assert_allclose(model.load_capacity(), [2.0, 4.0])
+
+    def test_water_filling_works_on_kingman(self):
+        from repro.allocation import water_filling_allocation
+
+        model = KingmanLatencyModel([0.5, 0.25], arrival_scv=1.0, service_scv=1.0)
+        result = water_filling_allocation(model, 3.0)
+        assert result.loads.sum() == pytest.approx(3.0)
+        assert np.all(result.loads < model.load_capacity())
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ValueError):
+            KingmanLatencyModel([0.5], arrival_scv=-0.1)
+
+    def test_restriction(self):
+        model = KingmanLatencyModel([0.5, 0.25], arrival_scv=0.5)
+        sub = model.restricted_to(np.array([True, False]))
+        assert sub.mean_service[0] == 0.5
+        assert sub.variability[0] == model.variability[0]

@@ -1,0 +1,106 @@
+"""Unit tests for the Archer–Tardos one-parameter baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanism import ArcherTardosMechanism
+
+
+class TestClosedFormPayments:
+    def test_bonus_matches_numeric_integral(self, archer_tardos):
+        bids = np.array([1.0, 2.0, 5.0])
+        rate = 9.0
+        outcome = archer_tardos.run(bids, rate)
+        inv = 1.0 / bids
+        for i in range(3):
+            s_minus = float(inv.sum() - inv[i])
+            numeric = ArcherTardosMechanism.payment_integral_numeric(
+                float(bids[i]), s_minus, rate
+            )
+            assert outcome.payments.bonus[i] == pytest.approx(numeric, rel=1e-8)
+
+    def test_compensation_is_declared_cost(self, archer_tardos):
+        bids = np.array([1.0, 4.0])
+        outcome = archer_tardos.run(bids, 5.0)
+        np.testing.assert_allclose(
+            outcome.payments.compensation, bids * outcome.loads**2
+        )
+
+    def test_work_curve_monotonicity(self, archer_tardos):
+        # x_i^2 must be non-increasing in the own bid (the AT condition).
+        others = np.array([2.0, 5.0])
+        rate = 8.0
+        works = []
+        for bid in np.linspace(0.5, 6.0, 25):
+            bids = np.concatenate(([bid], others))
+            works.append(float(archer_tardos.run(bids, rate).loads[0] ** 2))
+        assert np.all(np.diff(works) < 0.0)
+
+
+class TestTruthfulness:
+    @pytest.mark.parametrize("factor", [0.25, 0.6, 1.3, 2.0, 6.0])
+    def test_bid_deviation_never_gains(self, archer_tardos, small_true_values, factor):
+        t = small_true_values
+        truthful = archer_tardos.run(t, 10.0, t).payments.utility[2]
+        bids = t.copy()
+        bids[2] *= factor
+        deviated = archer_tardos.run(bids, 10.0, t).payments.utility[2]
+        assert deviated <= truthful + 1e-9
+
+    def test_first_order_condition_at_truth(self, archer_tardos, small_true_values):
+        t = small_true_values
+        h = 1e-6
+
+        def utility(bid: float) -> float:
+            bids = t.copy()
+            bids[0] = bid
+            return float(archer_tardos.run(bids, 10.0, t).payments.utility[0])
+
+        slope = (utility(t[0] + h) - utility(t[0] - h)) / (2 * h)
+        assert abs(slope) < 1e-4
+
+    def test_voluntary_participation(self, archer_tardos, cluster):
+        t = cluster.true_values
+        outcome = archer_tardos.run(t, 20.0, t, true_values=t)
+        assert np.all(outcome.payments.utility >= 0.0)
+
+    def test_no_verification(self, archer_tardos):
+        bids = np.array([1.0, 2.0])
+        honest = archer_tardos.run(bids, 5.0, np.array([1.0, 2.0]))
+        slow = archer_tardos.run(bids, 5.0, np.array([3.0, 2.0]))
+        np.testing.assert_allclose(honest.payments.payment, slow.payments.payment)
+
+
+class TestEquivalenceWithClarke:
+    """Structural finding: with the work curve w_i = x_i^2, the AT
+    payment integral R^2/(S_{-i}(b_i S_{-i} + 1)) simplifies (using
+    b_i S_{-i} + 1 = b_i S) to R^2/(b_i S_{-i} S), which is exactly the
+    Clarke bonus L_{-i} - L = R^2 (1/b_i) / (S_{-i} S).  On this
+    problem the normalised one-parameter mechanism *is* VCG.  See
+    EXPERIMENTS.md (A5).
+    """
+
+    def test_at_equals_vcg_payment_for_all_bids(self, archer_tardos, vcg):
+        rng = np.random.default_rng(13)
+        for _ in range(20):
+            bids = rng.uniform(0.5, 10.0, size=6)
+            rate = float(rng.uniform(1.0, 50.0))
+            at = archer_tardos.run(bids, rate)
+            clarke = vcg.run(bids, rate)
+            np.testing.assert_allclose(
+                at.payments.payment, clarke.payments.payment, rtol=1e-10
+            )
+
+    def test_at_equals_verification_payment_on_honest_execution(
+        self, archer_tardos, mechanism, cluster
+    ):
+        # ... and the verification mechanism coincides with both when
+        # machines execute exactly as they bid.
+        t = cluster.true_values
+        at = archer_tardos.run(t, 20.0, t)
+        verif = mechanism.run(t, 20.0, t)
+        np.testing.assert_allclose(
+            at.payments.payment, verif.payments.payment, rtol=1e-10
+        )

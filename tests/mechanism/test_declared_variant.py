@@ -1,0 +1,113 @@
+"""The declared-compensation variant: reproduces the paper's Figure 2
+prose but is provably non-truthful (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import scenario_by_name, table1_configuration
+from repro.experiments.table2 import build_bid_and_execution_vectors
+from repro.mechanism import VerificationMechanism
+
+
+class TestDeclaredCompensation:
+    def test_compensation_uses_bids(self, declared_mechanism):
+        bids = np.array([1.0, 2.0])
+        executions = np.array([3.0, 2.0])
+        outcome = declared_mechanism.run(bids, 6.0, executions)
+        np.testing.assert_allclose(
+            outcome.payments.compensation, bids * outcome.loads**2
+        )
+
+    def test_agrees_with_observed_when_execution_matches_bid(
+        self, mechanism, declared_mechanism
+    ):
+        bids = np.array([1.0, 2.0, 5.0])
+        observed = mechanism.run(bids, 9.0)
+        declared = declared_mechanism.run(bids, 9.0)
+        np.testing.assert_allclose(
+            observed.payments.payment, declared.payments.payment
+        )
+
+
+class TestPaperLow2Prose:
+    """'the payment and utility of C1 are negative' — Figure 2."""
+
+    def test_low2_payment_negative(self, declared_mechanism):
+        config = table1_configuration()
+        bids, executions = build_bid_and_execution_vectors(
+            config.cluster.true_values, scenario_by_name("Low2")
+        )
+        outcome = declared_mechanism.run(bids, config.arrival_rate, executions)
+        assert outcome.payments.payment[0] < 0.0
+        assert outcome.payments.utility[0] < 0.0
+
+    def test_paper_bonus_argument_holds(self, declared_mechanism):
+        # "The absolute value of the bonus is greater than the
+        # compensation" — the paper's explanation of the negative payment.
+        config = table1_configuration()
+        bids, executions = build_bid_and_execution_vectors(
+            config.cluster.true_values, scenario_by_name("Low2")
+        )
+        outcome = declared_mechanism.run(bids, config.arrival_rate, executions)
+        assert outcome.payments.bonus[0] < 0.0
+        assert abs(outcome.payments.bonus[0]) > outcome.payments.compensation[0]
+
+    def test_observed_variant_disagrees_on_the_payment_sign(self, mechanism):
+        # Under the formal Definition 3.3 the same scenario yields a
+        # positive payment (the documented internal inconsistency).
+        config = table1_configuration()
+        bids, executions = build_bid_and_execution_vectors(
+            config.cluster.true_values, scenario_by_name("Low2")
+        )
+        outcome = mechanism.run(bids, config.arrival_rate, executions)
+        assert outcome.payments.payment[0] > 0.0
+        assert outcome.payments.utility[0] < 0.0
+
+
+class TestNonTruthfulness:
+    """Overbidding strictly gains under declared compensation."""
+
+    def test_overbidding_gains(self, declared_mechanism, small_true_values):
+        t = small_true_values
+        truthful = declared_mechanism.run(t, 10.0, t).payments.utility[0]
+        bids = t.copy()
+        bids[0] *= 1.5
+        executions = t.copy()  # executes at capacity either way
+        deviated = declared_mechanism.run(bids, 10.0, executions).payments.utility[0]
+        assert deviated > truthful + 1e-6
+
+    def test_marginal_gain_at_truth_is_positive(self, declared_mechanism, small_true_values):
+        # dU/db|_{b=t} = x_i^2 > 0: the first-order condition fails at
+        # the truth, which is the analytic proof of non-truthfulness.
+        t = small_true_values
+        h = 1e-6
+
+        def utility(bid: float) -> float:
+            bids = t.copy()
+            bids[0] = bid
+            return float(
+                declared_mechanism.run(bids, 10.0, t).payments.utility[0]
+            )
+
+        slope = (utility(t[0] + h) - utility(t[0] - h)) / (2 * h)
+        expected_x = 10.0 * (1.0 / t[0]) / np.sum(1.0 / t)
+        assert slope == pytest.approx(expected_x**2, rel=1e-3)
+
+    def test_observed_variant_has_zero_marginal_gain_at_truth(
+        self, mechanism, small_true_values
+    ):
+        # Contrast: the truthful mechanism's utility is stationary at
+        # the truth (interior maximum).
+        t = small_true_values
+        h = 1e-6
+
+        def utility(bid: float) -> float:
+            bids = t.copy()
+            bids[0] = bid
+            return float(mechanism.run(bids, 10.0, t).payments.utility[0])
+
+        slope = (utility(t[0] + h) - utility(t[0] - h)) / (2 * h)
+        assert abs(slope) < 1e-3

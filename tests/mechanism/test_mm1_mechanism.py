@@ -1,0 +1,98 @@
+"""Unit tests for the M/M/1 truthful mechanism (companion paper [8])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mechanism.mm1_mechanism import MM1TruthfulMechanism
+
+
+@pytest.fixture
+def mechanism() -> MM1TruthfulMechanism:
+    return MM1TruthfulMechanism()
+
+
+@pytest.fixture
+def true_values() -> np.ndarray:
+    # mu = 5, 2.5, 1.25 (total capacity 8.75).
+    return np.array([0.2, 0.4, 0.8])
+
+
+RATE = 2.0
+
+
+class TestAllocationStage:
+    def test_conservation(self, mechanism, true_values):
+        outcome = mechanism.run(true_values, RATE)
+        assert outcome.loads.sum() == pytest.approx(RATE)
+
+    def test_fast_machine_gets_more(self, mechanism, true_values):
+        outcome = mechanism.run(true_values, RATE)
+        assert outcome.loads[0] > outcome.loads[1] >= outcome.loads[2]
+
+    def test_capacity_checked(self, mechanism):
+        with pytest.raises(ValueError, match="capacity"):
+            mechanism.run(np.array([1.0, 1.0]), 3.0)
+
+    def test_leave_one_out_capacity_checked(self, mechanism):
+        # mu = 10 and 1: removing the fast machine strands R = 2.
+        with pytest.raises(ValueError, match="leave-one-out"):
+            mechanism.run(np.array([0.1, 1.0]), 2.0)
+
+    def test_work_curve_monotone_in_bid(self, mechanism, true_values):
+        loads = [
+            mechanism._load_of(0, bid, true_values, RATE)
+            for bid in np.linspace(0.05, 1.5, 20)
+        ]
+        assert np.all(np.diff(loads) <= 1e-9)
+
+
+class TestPayments:
+    def test_excluded_machine_gets_nothing(self, mechanism, true_values):
+        # Bidding above the exclusion level yields zero load, zero pay.
+        bids = true_values.copy()
+        bids[2] = 50.0
+        outcome = mechanism.run(bids, RATE)
+        assert outcome.loads[2] == pytest.approx(0.0, abs=1e-9)
+        assert outcome.payments.payment[2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_payment_covers_declared_cost(self, mechanism, true_values):
+        outcome = mechanism.run(true_values, RATE)
+        declared_cost = true_values * outcome.loads
+        assert np.all(outcome.payments.payment >= declared_cost - 1e-9)
+
+    def test_bonus_positive_for_loaded_machines(self, mechanism, true_values):
+        outcome = mechanism.run(true_values, RATE)
+        loaded = outcome.loads > 1e-9
+        assert np.all(outcome.payments.bonus[loaded] > 0.0)
+
+
+class TestTruthfulness:
+    @pytest.mark.parametrize("factor", [0.5, 0.8, 1.25, 2.0])
+    def test_bid_deviations_never_gain(self, mechanism, true_values, factor):
+        for agent in range(3):
+            truthful = mechanism.utility_of_bid(
+                agent, true_values[agent], true_values[agent], true_values, RATE
+            )
+            deviated = mechanism.utility_of_bid(
+                agent, factor * true_values[agent], true_values[agent],
+                true_values, RATE,
+            )
+            assert deviated <= truthful + 1e-6
+
+    def test_voluntary_participation(self, mechanism, true_values):
+        for agent in range(3):
+            utility = mechanism.utility_of_bid(
+                agent, true_values[agent], true_values[agent], true_values, RATE
+            )
+            assert utility >= -1e-9
+
+    def test_first_order_condition_at_truth(self, mechanism, true_values):
+        # Machine 0 carries load at the truthful profile; its utility
+        # must be stationary there.
+        h = 2e-4
+        up = mechanism.utility_of_bid(0, true_values[0] + h, true_values[0], true_values, RATE)
+        down = mechanism.utility_of_bid(0, true_values[0] - h, true_values[0], true_values, RATE)
+        slope = (up - down) / (2 * h)
+        assert abs(slope) < 2e-2

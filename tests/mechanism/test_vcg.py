@@ -1,0 +1,84 @@
+"""Unit tests for the VCG baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import optimal_latency_excluding_each, pr_loads
+from repro.mechanism import VCGMechanism, VerificationMechanism
+
+
+class TestClarkePayments:
+    def test_payment_formula(self, vcg):
+        bids = np.array([1.0, 2.0, 5.0])
+        outcome = vcg.run(bids, 9.0)
+        excluded = optimal_latency_excluding_each(bids, 9.0)
+        others_cost = np.array(
+            [
+                float(np.dot(bids, outcome.loads**2))
+                - bids[i] * outcome.loads[i] ** 2
+                for i in range(3)
+            ]
+        )
+        np.testing.assert_allclose(outcome.payments.payment, excluded - others_cost)
+
+    def test_payment_is_execution_independent(self, vcg):
+        # No verification: payments cannot react to observed executions.
+        bids = np.array([1.0, 2.0])
+        honest = vcg.run(bids, 5.0, np.array([1.0, 2.0]))
+        slow = vcg.run(bids, 5.0, np.array([4.0, 2.0]))
+        np.testing.assert_allclose(
+            honest.payments.payment, slow.payments.payment
+        )
+
+    def test_uses_verification_flag_false(self):
+        assert VCGMechanism.uses_verification is False
+
+
+class TestTruthfulnessInBids:
+    @pytest.mark.parametrize("factor", [0.3, 0.7, 1.4, 3.0])
+    def test_bid_deviation_never_gains(self, vcg, small_true_values, factor):
+        t = small_true_values
+        truthful = vcg.run(t, 10.0, t).payments.utility[0]
+        bids = t.copy()
+        bids[0] *= factor
+        deviated = vcg.run(bids, 10.0, t).payments.utility[0]
+        assert deviated <= truthful + 1e-9
+
+    def test_voluntary_participation(self, vcg, cluster):
+        t = cluster.true_values
+        outcome = vcg.run(t, 20.0, t, true_values=t)
+        assert np.all(outcome.payments.utility >= -1e-9)
+
+
+class TestEquivalenceWithVerificationMechanism:
+    """Key structural finding (documented in EXPERIMENTS.md): when every
+    machine executes exactly as it bid, the verification mechanism's
+    payments coincide with Clarke/VCG payments.  Verification only
+    changes payments when observed execution differs from the bids.
+    """
+
+    def test_identical_payments_when_execution_matches_bids(self, vcg, mechanism):
+        bids = np.array([1.0, 2.0, 5.0, 10.0])
+        v = vcg.run(bids, 12.0)
+        m = mechanism.run(bids, 12.0)
+        np.testing.assert_allclose(v.payments.payment, m.payments.payment)
+
+    def test_payments_differ_when_another_machine_executes_slowly(
+        self, vcg, mechanism
+    ):
+        bids = np.array([1.0, 2.0, 5.0])
+        executions = np.array([1.0, 4.0, 5.0])  # machine 1 runs slow
+        v = vcg.run(bids, 9.0, executions)
+        m = mechanism.run(bids, 9.0, executions)
+        # Machine 0's payment reacts to machine 1's slowdown only under
+        # verification (its bonus shrinks with the realised latency).
+        assert m.payments.payment[0] < v.payments.payment[0]
+
+    def test_allocation_identical(self, vcg, mechanism):
+        bids = np.array([1.0, 2.0, 5.0])
+        np.testing.assert_allclose(
+            vcg.run(bids, 9.0).loads, mechanism.run(bids, 9.0).loads
+        )
+        np.testing.assert_allclose(vcg.run(bids, 9.0).loads, pr_loads(bids, 9.0))

@@ -1,0 +1,160 @@
+"""Property-based tests of the mechanism's theorems (hypothesis).
+
+Theorem 3.1 (truthfulness) and Theorem 3.2 (voluntary participation)
+are universally quantified over true values, arrival rates, deviations,
+and opponents' bids; hypothesis samples that space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mechanism import ArcherTardosMechanism, VCGMechanism, VerificationMechanism
+
+true_values = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=12),
+    elements=st.floats(min_value=0.05, max_value=50.0),
+)
+rates = st.floats(min_value=0.1, max_value=100.0)
+bid_factors = st.floats(min_value=0.05, max_value=20.0)
+exec_factors = st.floats(min_value=1.0, max_value=10.0)
+
+_mechanism = VerificationMechanism()
+
+
+def _utility(mechanism, t, rate, agent, bid, execution, opponent_bids=None):
+    bids = (t if opponent_bids is None else opponent_bids).copy()
+    bids[agent] = bid
+    execs = bids.copy()
+    execs[agent] = execution
+    outcome = mechanism.run(bids, rate, execs)
+    return float(outcome.payments.utility[agent])
+
+
+class TestTheorem31:
+    @settings(max_examples=150)
+    @given(
+        t=true_values,
+        rate=rates,
+        bf=bid_factors,
+        ef=exec_factors,
+        data=st.data(),
+    )
+    def test_truth_dominates_any_deviation(self, t, rate, bf, ef, data):
+        agent = data.draw(st.integers(0, t.size - 1))
+        truthful = _utility(_mechanism, t, rate, agent, t[agent], t[agent])
+        deviated = _utility(
+            _mechanism, t, rate, agent, bf * t[agent], ef * t[agent]
+        )
+        scale = max(1.0, abs(truthful))
+        assert deviated <= truthful + 1e-8 * scale
+
+    @settings(max_examples=100)
+    @given(t=true_values, rate=rates, bf=bid_factors, ef=exec_factors, data=st.data())
+    def test_truth_dominates_against_lying_opponents(self, t, rate, bf, ef, data):
+        agent = data.draw(st.integers(0, t.size - 1))
+        factors = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.2, max_value=5.0),
+                    min_size=t.size,
+                    max_size=t.size,
+                )
+            )
+        )
+        opponents = t * factors
+        truthful = _utility(
+            _mechanism, t, rate, agent, t[agent], t[agent], opponents
+        )
+        deviated = _utility(
+            _mechanism, t, rate, agent, bf * t[agent], ef * t[agent], opponents
+        )
+        scale = max(1.0, abs(truthful))
+        assert deviated <= truthful + 1e-8 * scale
+
+
+class TestTheorem32:
+    @settings(max_examples=150)
+    @given(t=true_values, rate=rates)
+    def test_truthful_utility_nonnegative(self, t, rate):
+        outcome = _mechanism.run(t, rate, t)
+        assert np.all(outcome.payments.utility >= -1e-9 * max(1.0, rate**2))
+
+    @settings(max_examples=100)
+    @given(t=true_values, rate=rates, data=st.data())
+    def test_vp_against_arbitrary_opponents(self, t, rate, data):
+        agent = data.draw(st.integers(0, t.size - 1))
+        factors = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.2, max_value=5.0),
+                    min_size=t.size,
+                    max_size=t.size,
+                )
+            )
+        )
+        bids = t * factors
+        bids[agent] = t[agent]
+        execs = bids.copy()
+        execs[agent] = t[agent]
+        outcome = _mechanism.run(bids, rate, execs)
+        assert outcome.payments.utility[agent] >= -1e-9 * max(1.0, rate**2)
+
+
+class TestPaymentIdentities:
+    @settings(max_examples=100)
+    @given(t=true_values, rate=rates, ef=exec_factors)
+    def test_utility_equals_bonus(self, t, rate, ef):
+        execs = t * ef
+        outcome = _mechanism.run(t, rate, execs)
+        np.testing.assert_allclose(
+            outcome.payments.utility, outcome.payments.bonus, rtol=1e-9, atol=1e-9
+        )
+
+    @settings(max_examples=100)
+    @given(t=true_values, rate=rates)
+    def test_vcg_equals_archer_tardos(self, t, rate):
+        vcg = VCGMechanism().run(t, rate)
+        at = ArcherTardosMechanism().run(t, rate)
+        np.testing.assert_allclose(
+            vcg.payments.payment,
+            at.payments.payment,
+            rtol=1e-8,
+            atol=1e-10 * rate**2,
+        )
+
+    @settings(max_examples=100)
+    @given(t=true_values, rate=rates)
+    def test_truthful_frugality_closed_form(self, t, rate):
+        # Ratio >= 1 is Theorem 3.2.  The exact truthful ratio has the
+        # closed form 1 + sum_i s_i/(S - s_i) with s_i = 1/t_i (it is
+        # independent of R, and unbounded when one machine dominates).
+        outcome = _mechanism.run(t, rate, t)
+        ratio = outcome.frugality_ratio
+        assert ratio >= 1.0 - 1e-9
+        s = 1.0 / t
+        expected = 1.0 + float(np.sum(s / (s.sum() - s)))
+        assert ratio == pytest.approx(expected, rel=1e-9)
+
+
+class TestEfficiency:
+    @settings(max_examples=100)
+    @given(t=true_values, rate=rates, data=st.data())
+    def test_any_misreport_weakly_raises_realised_latency(self, t, rate, data):
+        factors = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.1, max_value=10.0),
+                    min_size=t.size,
+                    max_size=t.size,
+                )
+            )
+        )
+        truthful = _mechanism.run(t, rate, t).realised_latency
+        lied = _mechanism.run(t * factors, rate, t).realised_latency
+        assert lied >= truthful * (1 - 1e-9)

@@ -1,0 +1,82 @@
+"""Property-based tests for the queueing substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.system.queueing import lindley_waits
+
+positive_times = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=200),
+    elements=st.floats(min_value=0.0, max_value=100.0),
+)
+
+
+class TestLindleyInvariants:
+    @settings(max_examples=150)
+    @given(service=positive_times, data=st.data())
+    def test_matches_scalar_recursion(self, service, data):
+        n = service.size
+        interarrival = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=100.0),
+                    min_size=n - 1,
+                    max_size=n - 1,
+                )
+            )
+        )
+        vectorised = lindley_waits(interarrival, service)
+        w = 0.0
+        expected = [0.0]
+        for k in range(n - 1):
+            w = max(0.0, w + service[k] - interarrival[k])
+            expected.append(w)
+        np.testing.assert_allclose(vectorised, expected, atol=1e-9)
+
+    @settings(max_examples=100)
+    @given(service=positive_times, data=st.data())
+    def test_waits_nonnegative(self, service, data):
+        n = service.size
+        interarrival = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=100.0),
+                    min_size=n - 1,
+                    max_size=n - 1,
+                )
+            )
+        )
+        assert np.all(lindley_waits(interarrival, service) >= 0.0)
+
+    @settings(max_examples=100)
+    @given(service=positive_times)
+    def test_zero_gaps_give_pure_backlog(self, service):
+        waits = lindley_waits(np.zeros(service.size - 1), service)
+        np.testing.assert_allclose(waits, np.concatenate(([0.0], np.cumsum(service[:-1]))), rtol=1e-12, atol=1e-9)
+
+    @settings(max_examples=100)
+    @given(service=positive_times, data=st.data())
+    def test_monotone_in_service_times(self, service, data):
+        # Increasing any service time never reduces any waiting time.
+        n = service.size
+        interarrival = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=10.0),
+                    min_size=n - 1,
+                    max_size=n - 1,
+                )
+            )
+        )
+        k = data.draw(st.integers(0, n - 1))
+        bumped = service.copy()
+        bumped[k] += 1.0
+        base = lindley_waits(interarrival, service)
+        more = lindley_waits(interarrival, bumped)
+        assert np.all(more >= base - 1e-9)

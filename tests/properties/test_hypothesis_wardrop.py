@@ -1,0 +1,74 @@
+"""Property-based tests for the Wardrop/PoA analysis (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis import price_of_anarchy, wardrop_equilibrium
+from repro.latency import AffineLatencyModel, LinearLatencyModel
+
+sizes = st.integers(min_value=2, max_value=10)
+
+
+@st.composite
+def affine_models(draw):
+    n = draw(sizes)
+    intercepts = draw(
+        arrays(np.float64, n, elements=st.floats(min_value=0.0, max_value=10.0))
+    )
+    slopes = draw(
+        arrays(np.float64, n, elements=st.floats(min_value=0.05, max_value=10.0))
+    )
+    return AffineLatencyModel(intercepts, slopes)
+
+
+class TestEquilibriumProperties:
+    @settings(max_examples=80)
+    @given(model=affine_models(), rate=st.floats(min_value=0.1, max_value=50.0))
+    def test_conservation_and_equal_latencies(self, model, rate):
+        eq = wardrop_equilibrium(model, rate)
+        assert eq.loads.sum() == pytest.approx(rate, rel=1e-8)
+        used = eq.loads > 1e-9 * rate
+        latencies = model.per_job(eq.loads)
+        if int(used.sum()) > 1:
+            spread = np.ptp(latencies[used]) / max(latencies[used].mean(), 1e-12)
+            assert spread < 1e-5
+
+    @settings(max_examples=80)
+    @given(model=affine_models(), rate=st.floats(min_value=0.1, max_value=50.0))
+    def test_unused_machines_no_faster_than_common_level(self, model, rate):
+        eq = wardrop_equilibrium(model, rate)
+        used = eq.loads > 1e-9 * rate
+        latencies = model.per_job(eq.loads)
+        if used.all() or not used.any():
+            return
+        level = float(latencies[used].max())
+        # An idle machine's zero-load latency must be >= the level
+        # (otherwise selfish jobs would move to it).
+        assert np.all(latencies[~used] >= level * (1 - 1e-6))
+
+
+class TestPriceOfAnarchyBounds:
+    @settings(max_examples=80)
+    @given(model=affine_models(), rate=st.floats(min_value=0.1, max_value=50.0))
+    def test_affine_poa_within_four_thirds(self, model, rate):
+        result = price_of_anarchy(model, rate)
+        assert result.price_of_anarchy >= 1.0 - 1e-9
+        assert result.price_of_anarchy <= 4.0 / 3.0 + 1e-6
+
+    @settings(max_examples=60)
+    @given(
+        slopes=arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=10),
+            elements=st.floats(min_value=0.05, max_value=10.0),
+        ),
+        rate=st.floats(min_value=0.1, max_value=50.0),
+    )
+    def test_linear_poa_is_exactly_one(self, slopes, rate):
+        result = price_of_anarchy(LinearLatencyModel(slopes), rate)
+        assert result.price_of_anarchy == pytest.approx(1.0, abs=1e-7)

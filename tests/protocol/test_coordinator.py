@@ -1,0 +1,133 @@
+"""Unit tests for the coordinator state machine (driven directly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import TruthfulAgent
+from repro.mechanism import VerificationMechanism
+from repro.protocol import SimulatedNetwork
+from repro.protocol.coordinator import (
+    COORDINATOR_NAME,
+    MachineNode,
+    MechanismCoordinator,
+    ProtocolPhase,
+)
+from repro.protocol.messages import BidReply, CompletionReport
+from repro.system import LinearLatencyMachine, Simulator
+
+
+def _setup(n: int = 3, rate: float = 6.0):
+    sim = Simulator()
+    network = SimulatedNetwork(sim)
+    rng = np.random.default_rng(0)
+    names = [f"C{i+1}" for i in range(n)]
+    true_values = np.array([1.0, 2.0, 5.0])[:n]
+    nodes = []
+    for name, t in zip(names, true_values):
+        node = MachineNode(
+            name=name,
+            agent=TruthfulAgent(t),
+            machine=LinearLatencyMachine(name, t, rng),
+            network=network,
+        )
+        network.register(name, node.handle)
+        nodes.append(node)
+    coordinator = MechanismCoordinator(
+        mechanism=VerificationMechanism(),
+        machine_names=names,
+        arrival_rate=rate,
+        network=network,
+    )
+    network.register(COORDINATOR_NAME, coordinator.handle)
+    return sim, network, coordinator, nodes, true_values
+
+
+class TestPhaseProgression:
+    def test_start_requests_bids(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        coordinator.start()
+        assert coordinator.phase is ProtocolPhase.BIDDING
+        sim.run()
+        # Bids were answered; allocation notices went out.
+        assert coordinator.phase is ProtocolPhase.EXECUTING
+        assert all(n.allocated_load is not None for n in nodes)
+
+    def test_cannot_start_twice(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        coordinator.start()
+        with pytest.raises(RuntimeError, match="cannot start"):
+            coordinator.start()
+
+    def test_allocation_matches_pr_on_bids(self):
+        sim, network, coordinator, nodes, t = _setup()
+        coordinator.start()
+        sim.run()
+        from repro.allocation import pr_loads
+
+        expected = pr_loads(t, 6.0)
+        actual = np.array([n.allocated_load for n in nodes])
+        np.testing.assert_allclose(actual, expected)
+
+    def test_reports_trigger_payments(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        coordinator.start()
+        sim.run()
+        for node in nodes:
+            node.machine.sojourn_times.extend([0.1, 0.2])  # fake completions
+            node.report_completion()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.DONE
+        assert coordinator.outcome is not None
+        assert all(n.received_payment is not None for n in nodes)
+
+    def test_zero_completion_falls_back_to_bid(self):
+        sim, network, coordinator, nodes, t = _setup()
+        coordinator.start()
+        sim.run()
+        for node in nodes:
+            node.report_completion()  # zero jobs completed
+        sim.run()
+        np.testing.assert_allclose(coordinator.estimated_execution_values, t)
+
+
+class TestProtocolErrors:
+    def test_duplicate_bid_rejected(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        coordinator.start()
+        sim.run()
+        network.send(BidReply(sender="C1", receiver=COORDINATOR_NAME, bid=1.0))
+        with pytest.raises(RuntimeError, match="unexpected bid"):
+            sim.run()
+
+    def test_report_before_allocation_rejected(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        network.send(
+            CompletionReport(
+                sender="C1", receiver=COORDINATOR_NAME,
+                jobs_completed=1, mean_sojourn=0.5,
+            )
+        )
+        with pytest.raises(RuntimeError, match="unexpected completion"):
+            sim.run()
+
+    def test_duplicate_report_rejected(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        coordinator.start()
+        sim.run()
+        nodes[0].report_completion()
+        nodes[0].report_completion()
+        with pytest.raises(RuntimeError, match="duplicate report"):
+            sim.run()
+
+    def test_bids_vector_before_complete_rejected(self):
+        _, _, coordinator, _, _ = _setup()
+        with pytest.raises(RuntimeError, match="not complete"):
+            coordinator.bids_vector()
+
+    def test_machine_rejects_unknown_message(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        network.send(BidReply(sender="C2", receiver="C1", bid=1.0))
+        with pytest.raises(TypeError, match="cannot handle"):
+            sim.run()

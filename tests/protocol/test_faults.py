@@ -1,0 +1,210 @@
+"""Failure-injection tests: lossy links, crashes, timeouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import TruthfulAgent
+from repro.mechanism import VerificationMechanism
+from repro.protocol import (
+    BidRequest,
+    CrashingNode,
+    FaultTolerantCoordinator,
+    ProtocolPhase,
+    ReliableNetwork,
+    SimulatedNetwork,
+)
+from repro.protocol.coordinator import COORDINATOR_NAME, MachineNode
+from repro.system import LinearLatencyMachine, Simulator
+
+
+def _build(network_factory, crash: dict[int, str] | None = None, n: int = 4):
+    """Wire a small protocol instance; returns (sim, net, coord, nodes)."""
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    network = network_factory(sim)
+    true_values = np.array([1.0, 2.0, 5.0, 10.0])[:n]
+    names = [f"C{i+1}" for i in range(n)]
+    nodes = []
+    for i, (name, t) in enumerate(zip(names, true_values)):
+        node = MachineNode(
+            name=name,
+            agent=TruthfulAgent(t),
+            machine=LinearLatencyMachine(name, t, rng),
+            network=network,
+        )
+        if crash and i in crash:
+            node = CrashingNode(node, crash[i])
+        network.register(name, node.handle)
+        nodes.append(node)
+    coordinator = FaultTolerantCoordinator(
+        mechanism=VerificationMechanism(),
+        machine_names=names,
+        arrival_rate=6.0,
+        network=network,
+    )
+    network.register(COORDINATOR_NAME, coordinator.handle)
+    return sim, network, coordinator, nodes
+
+
+class TestReliableNetworkUnit:
+    def test_delivers_despite_drops(self):
+        sim = Simulator()
+        network = ReliableNetwork(sim, 0.5, np.random.default_rng(1))
+        received = []
+        network.register("C1", lambda m, s: received.append(m))
+        for _ in range(20):
+            network.send(BidRequest(sender="m", receiver="C1"))
+        sim.run()
+        assert len(received) == 20  # exactly once each, despite 50% loss
+        assert network.dropped > 0
+        assert network.transmissions > 40  # retransmits happened
+
+    def test_no_duplicates_delivered(self):
+        sim = Simulator()
+        network = ReliableNetwork(sim, 0.4, np.random.default_rng(2))
+        received = []
+        network.register("C1", lambda m, s: received.append(m))
+        message = BidRequest(sender="m", receiver="C1")
+        network.send(message)
+        sim.run()
+        assert received == [message]
+
+    def test_zero_loss_means_no_retransmits_delivered_twice(self):
+        sim = Simulator()
+        network = ReliableNetwork(sim, 0.0, np.random.default_rng(3))
+        received = []
+        network.register("C1", lambda m, s: received.append(1))
+        network.send(BidRequest(sender="m", receiver="C1"))
+        sim.run()
+        assert received == [1]
+
+    def test_invalid_drop_probability(self):
+        with pytest.raises(ValueError):
+            ReliableNetwork(Simulator(), 1.0, np.random.default_rng(0))
+
+    def test_unknown_receiver(self):
+        network = ReliableNetwork(Simulator(), 0.0, np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            network.send(BidRequest(sender="m", receiver="ghost"))
+
+
+class TestProtocolOverLossyLinks:
+    def test_full_round_completes_at_30_percent_loss(self):
+        sim, network, coordinator, nodes = _build(
+            lambda s: ReliableNetwork(s, 0.3, np.random.default_rng(7))
+        )
+        coordinator.start()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.EXECUTING
+        for node in nodes:
+            node.machine.sojourn_times.append(0.5)
+            node.report_completion()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.DONE
+        assert all(n.received_payment is not None for n in nodes)
+
+    def test_payments_identical_to_lossless_run(self):
+        def run(drop: float, seed: int):
+            sim, network, coordinator, nodes = _build(
+                lambda s: ReliableNetwork(s, drop, np.random.default_rng(seed))
+            )
+            coordinator.start()
+            sim.run()
+            for node in nodes:
+                node.machine.sojourn_times.append(0.5)
+                node.report_completion()
+            sim.run()
+            return [n.received_payment.payment for n in nodes]
+
+        assert run(0.0, 1) == pytest.approx(run(0.4, 2))
+
+
+class TestCrashAndTimeout:
+    def test_silent_machine_excluded_from_round(self):
+        sim, network, coordinator, nodes = _build(
+            SimulatedNetwork, crash={2: "immediately"}
+        )
+        coordinator.start()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.BIDDING  # stuck on C3
+        coordinator.close_bidding()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.EXECUTING
+        assert coordinator.excluded == ["C3"]
+        assert len(coordinator.machine_names) == 3
+
+    def test_allocation_covers_full_rate_over_responders(self):
+        sim, network, coordinator, nodes = _build(
+            SimulatedNetwork, crash={0: "immediately"}
+        )
+        coordinator.start()
+        sim.run()
+        coordinator.close_bidding()
+        sim.run()
+        assert coordinator._loads is not None
+        assert coordinator._loads.sum() == pytest.approx(6.0)
+
+    def test_missing_report_withholds_payment(self):
+        sim, network, coordinator, nodes = _build(
+            SimulatedNetwork, crash={1: "after_bid"}
+        )
+        coordinator.start()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.EXECUTING
+        for i, node in enumerate(nodes):
+            if i == 1:
+                continue  # crashed after bidding: never reports
+            node.machine.sojourn_times.append(0.5)
+            node.report_completion()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.EXECUTING
+        coordinator.close_reporting()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.DONE
+        assert coordinator.withheld == ["C2"]
+        crashed = nodes[1]
+        assert crashed.inner.received_payment.payment == 0.0
+
+    def test_missing_report_imputed_pessimistically(self):
+        sim, network, coordinator, nodes = _build(
+            SimulatedNetwork, crash={1: "after_bid"}
+        )
+        coordinator.start()
+        sim.run()
+        for i, node in enumerate(nodes):
+            if i != 1:
+                node.machine.sojourn_times.append(0.5)
+                node.report_completion()
+        sim.run()
+        coordinator.close_reporting()
+        sim.run()
+        # Imputed execution value = factor * bid (bid of C2 is 2.0).
+        assert coordinator.estimated_execution_values[1] == pytest.approx(
+            coordinator.missing_report_factor * 2.0
+        )
+
+    def test_no_bids_at_deadline_is_an_error(self):
+        sim, network, coordinator, nodes = _build(
+            SimulatedNetwork,
+            crash={0: "immediately", 1: "immediately", 2: "immediately", 3: "immediately"},
+        )
+        coordinator.start()
+        sim.run()
+        with pytest.raises(RuntimeError, match="no machine bid"):
+            coordinator.close_bidding()
+
+    def test_deadline_noop_when_everyone_answered(self):
+        sim, network, coordinator, nodes = _build(SimulatedNetwork)
+        coordinator.start()
+        sim.run()
+        phase_before = coordinator.phase
+        coordinator.close_bidding()  # must be a harmless no-op
+        assert coordinator.phase is phase_before
+        assert coordinator.excluded == []
+
+    def test_invalid_crash_point_rejected(self):
+        sim, network, coordinator, nodes = _build(SimulatedNetwork)
+        with pytest.raises(ValueError):
+            CrashingNode(nodes[0], "sometime")

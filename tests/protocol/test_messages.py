@@ -1,0 +1,45 @@
+"""Unit tests for the protocol message types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol import (
+    AllocationNotice,
+    BidReply,
+    BidRequest,
+    CompletionReport,
+    PaymentNotice,
+)
+
+
+class TestMessageValidation:
+    def test_bid_reply_requires_positive_bid(self):
+        with pytest.raises(ValueError):
+            BidReply(sender="C1", receiver="mechanism", bid=0.0)
+
+    def test_allocation_notice_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            AllocationNotice(sender="mechanism", receiver="C1", load=-1.0)
+
+    def test_allocation_notice_accepts_zero_load(self):
+        notice = AllocationNotice(sender="mechanism", receiver="C1", load=0.0)
+        assert notice.load == 0.0
+
+    def test_completion_report_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            CompletionReport(
+                sender="C1", receiver="mechanism", jobs_completed=-1, mean_sojourn=1.0
+            )
+
+    def test_messages_are_immutable(self):
+        request = BidRequest(sender="mechanism", receiver="C1")
+        with pytest.raises(AttributeError):
+            request.receiver = "C2"
+
+    def test_payment_notice_fields(self):
+        notice = PaymentNotice(
+            sender="mechanism", receiver="C1",
+            payment=5.0, compensation=3.0, bonus=2.0,
+        )
+        assert notice.payment == notice.compensation + notice.bonus

@@ -1,0 +1,100 @@
+"""Unit tests for the online slowdown detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.protocol.monitoring import (
+    CusumSlowdownDetector,
+    detection_delay,
+)
+
+
+class TestDetectorMechanics:
+    def test_honest_stream_rarely_flags(self, rng):
+        detector = CusumSlowdownDetector(2.0, 3.0)
+        sojourns = rng.exponential(6.0, size=20_000)  # exactly as declared
+        assert detector.observe_many(sojourns) is None
+        assert not detector.flagged
+
+    def test_slow_stream_flags(self, rng):
+        detector = CusumSlowdownDetector(2.0, 3.0)
+        sojourns = rng.exponential(12.0, size=5_000)  # 2x slower
+        alert = detector.observe_many(sojourns)
+        assert alert is not None
+        assert detector.flagged
+        assert alert.mean_sojourn > 6.0
+
+    def test_alert_fires_once(self, rng):
+        detector = CusumSlowdownDetector(1.0, 1.0, threshold=1.0)
+        first = detector.observe_many(rng.exponential(5.0, size=100))
+        assert first is not None
+        jobs_at_alert = first.jobs_observed
+        again = detector.observe_many(rng.exponential(5.0, size=100))
+        assert again.jobs_observed == jobs_at_alert  # same alert object
+
+    def test_statistic_resets_at_zero_floor(self):
+        detector = CusumSlowdownDetector(1.0, 1.0, slack=0.0)
+        detector.observe(0.0)  # much faster than declared
+        assert detector.statistic == 0.0
+
+    def test_negative_sojourn_rejected(self):
+        detector = CusumSlowdownDetector(1.0, 1.0)
+        with pytest.raises(ValueError):
+            detector.observe(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CusumSlowdownDetector(0.0, 1.0)
+        with pytest.raises(ValueError):
+            CusumSlowdownDetector(1.0, 1.0, threshold=0.0)
+        with pytest.raises(ValueError):
+            CusumSlowdownDetector(1.0, 1.0, slack=-0.1)
+
+
+class TestDetectionCharacteristics:
+    def test_detects_big_slowdown_quickly(self):
+        delay = detection_delay(
+            1.0, 3.0, 2.0, np.random.default_rng(1)
+        )
+        assert delay is not None
+        assert delay < 50
+
+    def test_bigger_slowdowns_detected_faster(self):
+        delays = []
+        for factor in (1.5, 2.0, 4.0):
+            per_seed = [
+                detection_delay(1.0, factor, 2.0, np.random.default_rng(seed))
+                for seed in range(20)
+            ]
+            delays.append(float(np.mean([d for d in per_seed if d is not None])))
+        assert delays[0] > delays[1] > delays[2]
+
+    def test_honest_false_alarm_rate_low(self):
+        alarms = 0
+        for seed in range(30):
+            delay = detection_delay(
+                1.0, 1.0, 2.0, np.random.default_rng(seed), max_jobs=2_000
+            )
+            alarms += delay is not None
+        assert alarms <= 2  # <~7% false alarm over 2000 jobs
+
+    def test_threshold_trades_delay_for_false_alarms(self):
+        fast = [
+            detection_delay(1.0, 2.0, 1.0, np.random.default_rng(s), threshold=2.0)
+            for s in range(20)
+        ]
+        slow = [
+            detection_delay(1.0, 2.0, 1.0, np.random.default_rng(s), threshold=20.0)
+            for s in range(20)
+        ]
+        assert np.mean([d for d in fast if d]) < np.mean([d for d in slow if d])
+
+    def test_subtle_slowdown_within_slack_escapes(self):
+        # A 10% slowdown sits inside the 25% slack: undetectable by
+        # design (the slack is the tolerance band).
+        delay = detection_delay(
+            1.0, 1.1, 2.0, np.random.default_rng(3), max_jobs=20_000
+        )
+        assert delay is None

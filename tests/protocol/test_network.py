@@ -1,0 +1,93 @@
+"""Unit tests for the simulated network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.protocol import BidRequest, SimulatedNetwork
+from repro.system import Simulator
+
+
+class TestDelivery:
+    def test_message_reaches_handler(self):
+        sim = Simulator()
+        network = SimulatedNetwork(sim)
+        received = []
+        network.register("C1", lambda msg, s: received.append(msg))
+        message = BidRequest(sender="mechanism", receiver="C1")
+        network.send(message)
+        sim.run()
+        assert received == [message]
+
+    def test_unknown_receiver_rejected(self):
+        network = SimulatedNetwork(Simulator())
+        with pytest.raises(KeyError):
+            network.send(BidRequest(sender="m", receiver="ghost"))
+
+    def test_duplicate_registration_rejected(self):
+        network = SimulatedNetwork(Simulator())
+        network.register("C1", lambda m, s: None)
+        with pytest.raises(ValueError):
+            network.register("C1", lambda m, s: None)
+
+    def test_delay_sampler_defers_delivery(self):
+        sim = Simulator()
+        network = SimulatedNetwork(
+            sim, delay_sampler=lambda rng: 2.5, rng=np.random.default_rng(0)
+        )
+        times = []
+        network.register("C1", lambda msg, s: times.append(s.now))
+        network.send(BidRequest(sender="m", receiver="C1"))
+        sim.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        network = SimulatedNetwork(
+            sim, delay_sampler=lambda rng: -1.0, rng=np.random.default_rng(0)
+        )
+        network.register("C1", lambda m, s: None)
+        with pytest.raises(ValueError):
+            network.send(BidRequest(sender="m", receiver="C1"))
+
+    def test_random_delays_preserve_per_message_independence(self):
+        sim = Simulator()
+        network = SimulatedNetwork(
+            sim,
+            delay_sampler=lambda rng: float(rng.exponential(1.0)),
+            rng=np.random.default_rng(5),
+        )
+        times = []
+        network.register("C1", lambda msg, s: times.append(s.now))
+        for _ in range(20):
+            network.send(BidRequest(sender="m", receiver="C1"))
+        sim.run()
+        assert len(set(times)) > 1  # not all delivered simultaneously
+
+
+class TestAccounting:
+    def test_counts_by_type(self):
+        sim = Simulator()
+        network = SimulatedNetwork(sim)
+        network.register("C1", lambda m, s: None)
+        for _ in range(3):
+            network.send(BidRequest(sender="m", receiver="C1"))
+        stats = network.stats()
+        assert stats.total_messages == 3
+        assert stats.messages_of(BidRequest) == 3
+
+    def test_delivered_counter(self):
+        sim = Simulator()
+        network = SimulatedNetwork(sim)
+        network.register("C1", lambda m, s: None)
+        network.send(BidRequest(sender="m", receiver="C1"))
+        assert network.delivered == 0
+        sim.run()
+        assert network.delivered == 1
+
+    def test_unknown_type_count_is_zero(self):
+        from repro.protocol import PaymentNotice
+
+        network = SimulatedNetwork(Simulator())
+        assert network.stats().messages_of(PaymentNotice) == 0

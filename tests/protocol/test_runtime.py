@@ -1,0 +1,134 @@
+"""Integration tests for the end-to-end protocol runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import ManipulativeAgent, TruthfulAgent
+from repro.mechanism import VerificationMechanism
+from repro.protocol import run_protocol
+from repro.protocol.messages import (
+    AllocationNotice,
+    BidReply,
+    BidRequest,
+    CompletionReport,
+    PaymentNotice,
+)
+from repro.system.cluster import paper_cluster
+
+
+def _truthful_agents():
+    return [TruthfulAgent(t) for t in paper_cluster().true_values]
+
+
+class TestMessageComplexity:
+    def test_exactly_five_messages_per_machine(self, rng):
+        result = run_protocol(_truthful_agents(), 20.0, duration=5.0, rng=rng)
+        n = 16
+        assert result.network.total_messages == 5 * n
+        for message_type in (
+            BidRequest, BidReply, AllocationNotice, CompletionReport, PaymentNotice
+        ):
+            assert result.network.messages_of(message_type) == n
+
+    def test_scales_linearly_with_machines(self, rng):
+        agents = [TruthfulAgent(1.0), TruthfulAgent(2.0), TruthfulAgent(5.0)]
+        result = run_protocol(agents, 6.0, duration=5.0, rng=rng)
+        assert result.network.total_messages == 15
+
+
+class TestEstimationAccuracy:
+    def test_noise_free_estimation_is_nearly_exact(self, rng):
+        # Deterministic service: only routing granularity remains.
+        result = run_protocol(
+            _truthful_agents(), 20.0, duration=300.0,
+            rng=rng, deterministic_service=True,
+        )
+        assert result.estimation_relative_error.max() < 0.05
+
+    def test_estimation_error_shrinks_with_duration(self):
+        short = run_protocol(
+            _truthful_agents(), 20.0, duration=20.0,
+            rng=np.random.default_rng(1),
+        )
+        long = run_protocol(
+            _truthful_agents(), 20.0, duration=2000.0,
+            rng=np.random.default_rng(1),
+        )
+        assert (
+            long.estimation_relative_error.mean()
+            < short.estimation_relative_error.mean()
+        )
+
+    def test_detects_a_slow_executor(self, rng):
+        agents = _truthful_agents()
+        agents[0] = ManipulativeAgent(1.0, bid_factor=1.0, execution_factor=3.0)
+        result = run_protocol(agents, 20.0, duration=500.0, rng=rng)
+        # The verification step must estimate t̂_1 near 3, not near the bid 1.
+        assert result.estimated_execution_values[0] == pytest.approx(3.0, rel=0.15)
+
+
+class TestEconomicsMatchClosedForm:
+    def test_truthful_latency_near_optimum(self, rng):
+        result = run_protocol(_truthful_agents(), 20.0, duration=1000.0, rng=rng)
+        assert result.outcome.realised_latency == pytest.approx(400 / 5.1, rel=0.05)
+
+    def test_low2_utility_matches_closed_form(self, rng):
+        agents = _truthful_agents()
+        agents[0] = ManipulativeAgent(1.0, bid_factor=0.5, execution_factor=2.0)
+        result = run_protocol(agents, 20.0, duration=1000.0, rng=rng)
+        closed = VerificationMechanism().run(
+            np.array([a.bid() for a in agents]),
+            20.0,
+            np.array([a.execution_value() for a in agents]),
+        )
+        assert result.outcome.payments.utility[0] == pytest.approx(
+            float(closed.payments.utility[0]), rel=0.1
+        )
+        assert result.outcome.payments.utility[0] < 0.0
+
+    def test_payments_delivered_match_outcome(self, rng):
+        # What each machine received over the network must equal the
+        # outcome's payment vector (no bookkeeping drift).
+        agents = _truthful_agents()[:4]
+        result = run_protocol(agents, 5.0, duration=50.0, rng=rng)
+        assert result.outcome is not None
+
+
+class TestLossyRuntime:
+    def test_protocol_completes_over_lossy_links(self, rng):
+        result = run_protocol(
+            _truthful_agents(), 20.0, duration=30.0, rng=rng,
+            drop_probability=0.3,
+        )
+        # Exactly-once at the application layer: still 5n payloads.
+        assert result.network.total_messages == 5 * 16
+        assert result.outcome.realised_latency == pytest.approx(
+            400 / 5.1, rel=0.2
+        )
+
+    def test_zero_drop_uses_plain_network(self, rng):
+        result = run_protocol(
+            _truthful_agents(), 20.0, duration=10.0, rng=rng,
+            drop_probability=0.0,
+        )
+        assert result.network.total_messages == 5 * 16
+
+
+class TestRuntimeValidation:
+    def test_empty_agents_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_protocol([], 5.0, rng=rng)
+
+    def test_nonpositive_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_protocol([TruthfulAgent(1.0)], 0.0, rng=rng)
+
+    def test_jobs_routed_counted(self, rng):
+        result = run_protocol(_truthful_agents(), 20.0, duration=50.0, rng=rng)
+        assert result.jobs_routed == pytest.approx(1000, rel=0.2)
+
+    def test_simulated_time_advances(self, rng):
+        result = run_protocol(_truthful_agents(), 20.0, duration=50.0, rng=rng)
+        assert result.simulated_time >= 50.0 * 0.9

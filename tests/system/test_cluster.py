@@ -1,0 +1,89 @@
+"""Unit tests for cluster configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system import Cluster, grouped_cluster, paper_cluster, random_cluster
+
+
+class TestPaperCluster:
+    def test_matches_table1(self):
+        c = paper_cluster()
+        assert c.n_machines == 16
+        assert c.names[0] == "C1"
+        assert c.names[-1] == "C16"
+        assert c.total_inverse == pytest.approx(5.1)
+
+    def test_true_values_read_only(self):
+        c = paper_cluster()
+        with pytest.raises(ValueError):
+            c.true_values[0] = 99.0
+
+    def test_heterogeneity(self):
+        assert paper_cluster().heterogeneity() == 10.0
+
+    def test_latency_model(self):
+        model = paper_cluster().latency_model()
+        np.testing.assert_allclose(model.t, paper_cluster().true_values)
+
+
+class TestGroupedCluster:
+    def test_reproduces_paper_cluster(self):
+        c = grouped_cluster([2, 3, 5, 6], [1.0, 2.0, 5.0, 10.0])
+        np.testing.assert_allclose(c.true_values, paper_cluster().true_values)
+
+    def test_mismatched_groups_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_cluster([2, 3], [1.0])
+
+    def test_zero_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_cluster([0, 2], [1.0, 2.0])
+
+
+class TestRandomCluster:
+    def test_size_and_range(self, rng):
+        c = random_cluster(40, rng, t_range=(2.0, 8.0))
+        assert c.n_machines == 40
+        assert np.all(c.true_values >= 2.0)
+        assert np.all(c.true_values <= 8.0)
+
+    def test_reproducible(self):
+        a = random_cluster(10, np.random.default_rng(1))
+        b = random_cluster(10, np.random.default_rng(1))
+        np.testing.assert_allclose(a.true_values, b.true_values)
+
+    def test_log_uniform_vs_uniform_differ(self):
+        a = random_cluster(200, np.random.default_rng(2), log_uniform=True)
+        b = random_cluster(200, np.random.default_rng(2), log_uniform=False)
+        # Log-uniform concentrates more machines at the fast end.
+        assert np.median(a.true_values) < np.median(b.true_values)
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            random_cluster(0, rng)
+        with pytest.raises(ValueError):
+            random_cluster(3, rng, t_range=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            random_cluster(3, rng, t_range=(0.0, 1.0))
+
+
+class TestClusterOperations:
+    def test_subset(self):
+        c = paper_cluster()
+        sub = c.subset(np.array([0, 5, 10]))
+        assert sub.names == ("C1", "C6", "C11")
+        np.testing.assert_allclose(sub.true_values, [1.0, 5.0, 10.0])
+
+    def test_len(self):
+        assert len(paper_cluster()) == 16
+
+    def test_names_length_validated(self):
+        with pytest.raises(ValueError, match="names"):
+            Cluster(true_values=np.array([1.0, 2.0]), names=("a",))
+
+    def test_processing_rates(self):
+        c = grouped_cluster([1, 1], [2.0, 4.0])
+        np.testing.assert_allclose(c.processing_rates, [0.5, 0.25])

@@ -1,0 +1,86 @@
+"""Unit tests for cluster config serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.system import paper_cluster, random_cluster
+from repro.system.configio import (
+    cluster_from_dict,
+    cluster_to_dict,
+    load_cluster,
+    paper_cluster_document,
+    save_cluster,
+)
+
+
+class TestRoundTrip:
+    def test_paper_cluster_round_trips(self, tmp_path):
+        cluster = paper_cluster()
+        path = tmp_path / "table1.json"
+        save_cluster(cluster, path, description="Table 1")
+        loaded = load_cluster(path)
+        np.testing.assert_allclose(loaded.true_values, cluster.true_values)
+        assert loaded.names == cluster.names
+
+    def test_random_cluster_round_trips(self, rng, tmp_path):
+        cluster = random_cluster(23, rng)
+        path = tmp_path / "c.json"
+        save_cluster(cluster, path)
+        loaded = load_cluster(path)
+        np.testing.assert_allclose(loaded.true_values, cluster.true_values)
+
+    def test_description_preserved(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_cluster(paper_cluster(), path, description="hello")
+        assert json.loads(path.read_text())["description"] == "hello"
+
+
+class TestSchemaValidation:
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="format"):
+            cluster_from_dict({"format_version": 7, "machines": []})
+
+    def test_empty_machines(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            cluster_from_dict({"format_version": 1, "machines": []})
+
+    def test_missing_fields(self):
+        with pytest.raises(ValueError, match="true_value"):
+            cluster_from_dict(
+                {"format_version": 1, "machines": [{"name": "C1"}]}
+            )
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            cluster_from_dict(
+                {
+                    "format_version": 1,
+                    "machines": [
+                        {"name": "C1", "true_value": 1.0},
+                        {"name": "C1", "true_value": 2.0},
+                    ],
+                }
+            )
+
+    def test_nonpositive_value_rejected_by_cluster(self):
+        with pytest.raises(ValueError):
+            cluster_from_dict(
+                {
+                    "format_version": 1,
+                    "machines": [{"name": "C1", "true_value": 0.0}],
+                }
+            )
+
+
+class TestReferenceDocument:
+    def test_paper_document_loads_to_table1(self):
+        cluster = cluster_from_dict(paper_cluster_document())
+        assert cluster.n_machines == 16
+        assert cluster.total_inverse == pytest.approx(5.1)
+
+    def test_paper_document_mentions_the_paper(self):
+        assert "IPDPS" in paper_cluster_document()["description"]

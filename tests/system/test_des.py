@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda s: order.append("b"))
+        q.push(1.0, lambda s: order.append("a"))
+        q.push(3.0, lambda s: order.append("c"))
+        while (e := q.pop()) is not None:
+            e.handler(None)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak_for_simultaneous_events(self):
+        q = EventQueue()
+        order = []
+        for k in range(5):
+            q.push(1.0, lambda s, k=k: order.append(k))
+        while (e := q.pop()) is not None:
+            e.handler(None)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1.0, lambda s: fired.append(1))
+        event.cancel()
+        assert q.pop() is None
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda s: None)
+        q.push(2.0, lambda s: None)
+        e1.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda s: None)
+        q.push(2.0, lambda s: None)
+        e1.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda s: None)
+        assert q
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda s: times.append(s.now))
+        sim.schedule(0.5, lambda s: times.append(s.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_handlers_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first(s: Simulator) -> None:
+            fired.append(("first", s.now))
+            s.schedule(2.0, lambda s2: fired.append(("second", s2.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(5.0, lambda s: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0  # clock advanced to the horizon
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda s: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda s: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda s: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for k in range(7):
+            sim.schedule(float(k), lambda s: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+    def test_pending_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        assert sim.pending() == 2
+        sim.run(until=1.5)
+        assert sim.pending() == 1
+
+    def test_cancelled_event_not_processed(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_deterministic_large_run(self):
+        # A chain of self-scheduling events: stable order and timing.
+        sim = Simulator()
+        count = 0
+
+        def tick(s: Simulator) -> None:
+            nonlocal count
+            count += 1
+            if count < 1000:
+                s.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        assert count == 1000
+        assert sim.now == pytest.approx(0.999)

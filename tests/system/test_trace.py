@@ -1,0 +1,102 @@
+"""Unit tests for workload trace record/replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.system import DeterministicWorkload, PoissonWorkload
+from repro.system.trace import load_trace, save_trace, trace_stats
+from repro.system.workload import Job
+
+
+class TestTraceStats:
+    def test_poisson_trace_detected(self, rng):
+        jobs = PoissonWorkload(50.0, rng).generate(200.0)
+        stats = trace_stats(jobs)
+        assert stats.mean_rate == pytest.approx(50.0, rel=0.05)
+        assert stats.looks_poissonian
+
+    def test_deterministic_trace_not_poissonian(self):
+        jobs = DeterministicWorkload(10.0).generate(50.0)
+        stats = trace_stats(jobs)
+        assert stats.interarrival_cv == pytest.approx(0.0, abs=1e-9)
+        assert not stats.looks_poissonian
+
+    def test_needs_two_jobs(self):
+        with pytest.raises(ValueError, match="two jobs"):
+            trace_stats([Job(0, 0.0)])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="arrival order"):
+            trace_stats([Job(0, 1.0), Job(1, 0.5), Job(2, 2.0)])
+
+
+class TestRoundTrip:
+    def test_bit_exact_round_trip(self, rng, tmp_path):
+        jobs = PoissonWorkload(25.0, rng).generate(20.0)
+        path = tmp_path / "trace.json"
+        save_trace(jobs, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(jobs)
+        for original, replayed in zip(jobs, loaded):
+            assert replayed.arrival_time == original.arrival_time  # exact
+
+    def test_stats_embedded(self, rng, tmp_path):
+        jobs = PoissonWorkload(25.0, rng).generate(20.0)
+        path = tmp_path / "trace.json"
+        save_trace(jobs, path)
+        document = json.loads(path.read_text())
+        assert document["stats"]["mean_rate"] == pytest.approx(25.0, rel=0.3)
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 9}))
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_corrupt_count_detected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "n_jobs": 3,
+                    "stats": None,
+                    "arrival_times": [(0.5).hex()],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            load_trace(path)
+
+    def test_corrupt_ordering_detected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "n_jobs": 2,
+                    "stats": None,
+                    "arrival_times": [(2.0).hex(), (1.0).hex()],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            load_trace(path)
+
+    def test_replay_preserves_statistics(self, rng, tmp_path):
+        jobs = PoissonWorkload(40.0, rng).generate(100.0)
+        path = tmp_path / "trace.json"
+        save_trace(jobs, path)
+        replayed = load_trace(path)
+        original_stats = trace_stats(jobs)
+        replayed_stats = trace_stats(replayed)
+        assert replayed_stats == original_stats

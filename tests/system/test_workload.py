@@ -1,0 +1,103 @@
+"""Unit tests for workload generation and routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system import DeterministicWorkload, PoissonWorkload, split_workload
+from repro.system.workload import Job
+
+
+class TestPoissonWorkload:
+    def test_rate_matches_on_average(self, rng):
+        workload = PoissonWorkload(50.0, rng)
+        jobs = workload.generate(100.0)
+        assert len(jobs) == pytest.approx(5000, rel=0.05)
+
+    def test_jobs_sorted_by_arrival(self, rng):
+        jobs = PoissonWorkload(20.0, rng).generate(10.0)
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_arrivals_within_window(self, rng):
+        jobs = PoissonWorkload(20.0, rng).generate(5.0)
+        assert all(0.0 <= j.arrival_time < 5.0 for j in jobs)
+
+    def test_job_ids_sequential(self, rng):
+        jobs = PoissonWorkload(20.0, rng).generate(5.0)
+        assert [j.job_id for j in jobs] == list(range(len(jobs)))
+
+    def test_exponential_gaps(self, rng):
+        # Gap mean should be 1/rate; a crude check of Poisson-ness.
+        jobs = PoissonWorkload(100.0, rng).generate(200.0)
+        gaps = np.diff([j.arrival_time for j in jobs])
+        assert gaps.mean() == pytest.approx(0.01, rel=0.05)
+        assert gaps.std() == pytest.approx(0.01, rel=0.1)
+
+    def test_reproducible(self):
+        a = PoissonWorkload(10.0, np.random.default_rng(3)).generate(5.0)
+        b = PoissonWorkload(10.0, np.random.default_rng(3)).generate(5.0)
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            PoissonWorkload(0.0, rng)
+        with pytest.raises(ValueError):
+            PoissonWorkload(1.0, rng).generate(0.0)
+
+    def test_arrival_iter(self, rng):
+        jobs = list(PoissonWorkload(10.0, rng).arrival_iter(2.0))
+        assert all(isinstance(j, Job) for j in jobs)
+
+
+class TestDeterministicWorkload:
+    def test_exact_count(self):
+        jobs = DeterministicWorkload(4.0).generate(2.5)
+        assert len(jobs) == 10
+
+    def test_equally_spaced(self):
+        jobs = DeterministicWorkload(4.0).generate(1.0)
+        gaps = np.diff([j.arrival_time for j in jobs])
+        np.testing.assert_allclose(gaps, 0.25)
+
+
+class TestSplitWorkload:
+    def _jobs(self, n: int) -> list[Job]:
+        return [Job(job_id=i, arrival_time=float(i)) for i in range(n)]
+
+    def test_every_job_routed_exactly_once(self, rng):
+        jobs = self._jobs(1000)
+        buckets = split_workload(jobs, np.array([0.5, 0.3, 0.2]), rng)
+        assert sum(len(b) for b in buckets) == 1000
+        seen = sorted(j.job_id for b in buckets for j in b)
+        assert seen == list(range(1000))
+
+    def test_fractions_respected_on_average(self, rng):
+        jobs = self._jobs(20000)
+        buckets = split_workload(jobs, np.array([0.7, 0.3]), rng)
+        assert len(buckets[0]) / 20000 == pytest.approx(0.7, abs=0.02)
+
+    def test_zero_fraction_gets_nothing(self, rng):
+        jobs = self._jobs(100)
+        buckets = split_workload(jobs, np.array([1.0, 0.0]), rng)
+        assert len(buckets[1]) == 0
+
+    def test_empty_stream(self, rng):
+        buckets = split_workload([], np.array([0.5, 0.5]), rng)
+        assert buckets == [[], []]
+
+    def test_fractions_must_sum_to_one(self, rng):
+        with pytest.raises(ValueError, match="sum to 1"):
+            split_workload(self._jobs(5), np.array([0.5, 0.6]), rng)
+
+    def test_negative_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_workload(self._jobs(5), np.array([1.5, -0.5]), rng)
+
+    def test_order_preserved_within_bucket(self, rng):
+        jobs = self._jobs(500)
+        buckets = split_workload(jobs, np.array([0.5, 0.5]), rng)
+        for bucket in buckets:
+            ids = [j.job_id for j in bucket]
+            assert ids == sorted(ids)

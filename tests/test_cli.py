@@ -1,0 +1,131 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out
+
+
+class TestTables:
+    def test_table1_lists_groups(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "C1 - C2" in out
+        assert "20.00" in out  # arrival rate
+
+    def test_table2_lists_all_experiments(self, capsys):
+        out = run_cli(capsys, "table2")
+        for name in ("True1", "High4", "Low2"):
+            assert name in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("number", ["1", "2", "3", "4", "5", "6"])
+    def test_every_figure_renders(self, capsys, number):
+        out = run_cli(capsys, "figure", number)
+        assert f"Figure {number}" in out
+
+    def test_figure1_contains_optimum(self, capsys):
+        out = run_cli(capsys, "figure", "1")
+        assert "78.43" in out
+
+    def test_out_of_range_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "7"])
+
+
+class TestAudit:
+    def test_observed_mechanism_is_truthful(self, capsys):
+        out = run_cli(capsys, "audit", "--machines", "4")
+        assert "yes" in out
+
+    def test_declared_mechanism_flagged(self, capsys):
+        out = run_cli(capsys, "audit", "--variant", "declared", "--machines", "4")
+        assert "NO" in out
+
+    @pytest.mark.parametrize("variant", ["vcg", "archer-tardos"])
+    def test_baselines_audit_cleanly(self, capsys, variant):
+        out = run_cli(capsys, "audit", "--variant", variant, "--machines", "4")
+        assert "yes" in out
+
+    def test_audit_accepts_cluster_config_file(self, capsys, tmp_path, rng):
+        from repro.system import random_cluster, save_cluster
+
+        path = tmp_path / "cluster.json"
+        save_cluster(random_cluster(5, rng), path)
+        out = run_cli(
+            capsys, "audit", "--config", str(path), "--machines", "5"
+        )
+        assert "yes" in out
+
+
+class TestProtocol:
+    def test_truthful_round(self, capsys):
+        out = run_cli(capsys, "protocol", "--duration", "20")
+        assert "control messages" in out
+        assert "80" in out  # 5n for n=16
+
+    def test_liar_round_shows_negative_utility(self, capsys):
+        out = run_cli(capsys, "protocol", "--liar", "low2", "--duration", "150")
+        assert "C1 utility" in out
+        # utility column carries a minus sign for low2
+        utility_line = next(l for l in out.splitlines() if "C1 utility" in l)
+        assert "-" in utility_line.split()[-1]
+
+    def test_lossy_round_completes(self, capsys):
+        out = run_cli(
+            capsys, "protocol", "--duration", "15", "--drop", "0.3"
+        )
+        messages_line = next(
+            l for l in out.splitlines() if "control messages" in l
+        )
+        assert messages_line.split()[-1] == "80"  # exactly-once payloads
+
+
+class TestAnalysisCommands:
+    def test_multi_liar(self, capsys):
+        out = run_cli(capsys, "multi-liar", "--max-liars", "3")
+        assert "degradation %" in out
+        assert "65.8" in out
+
+    def test_poa_default_is_pigou(self, capsys):
+        out = run_cli(capsys, "poa")
+        assert "1.3333" in out
+
+    def test_poa_bad_model_errors_cleanly(self, capsys):
+        code = main(["poa", "--intercepts", "-1", "--slopes", "1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+
+class TestLandscape:
+    def test_observed_landscape_peaks_at_truth(self, capsys):
+        out = run_cli(capsys, "landscape")
+        assert "max at bid 1x, execution 1x" in out
+        assert "exec\\bid" in out
+
+    def test_declared_landscape_peaks_above_truth(self, capsys):
+        out = run_cli(capsys, "landscape", "--variant", "declared")
+        header = out.splitlines()[0]
+        assert "max at bid 1x" not in header
+
+    def test_agent_selectable(self, capsys):
+        out = run_cli(capsys, "landscape", "--agent", "5")
+        assert "machine C6" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_python_dash_m_entry(self):
+        import repro.__main__  # noqa: F401  (import must not execute main)

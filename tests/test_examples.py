@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example must run cleanly end to end.
+
+Each example is executed as a subprocess (the way a user runs it) and
+must exit 0 with the expected headline text on stdout.  The heavier
+examples get generous but bounded timeouts so a regression that makes
+one hang is caught rather than stalling CI forever.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: example file -> a string its output must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "78.43",
+    "strategic_manipulation.py": "lying pays",
+    "protocol_simulation.py": "Verification: estimated execution values",
+    "federation_market.py": "frugality ratio",
+    "queueing_validation.py": "Pollaczek-Khinchine",
+    "distributed_payments.py": "4 messages/machine",
+    "day2_operations.py": "Crash handling",
+}
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+    def test_example_runs_and_prints_headline(self, script):
+        result = _run(script)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert EXPECTED_OUTPUT[script] in result.stdout
+
+    def test_every_example_file_is_covered(self):
+        shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert shipped == set(EXPECTED_OUTPUT), (
+            "examples/ and the smoke-test table are out of sync"
+        )
+
+    def test_examples_have_module_docstrings(self):
+        for script in EXPECTED_OUTPUT:
+            source = (EXAMPLES_DIR / script).read_text()
+            assert source.lstrip().startswith(('"""', '#!')), script
+            assert '"""' in source, f"{script} lacks a docstring"

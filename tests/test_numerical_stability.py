@@ -1,0 +1,101 @@
+"""Numerical stability at extreme scales and degenerate configurations.
+
+The closed forms involve sums of reciprocals and differences of large
+quantities; these tests pin behaviour at the edges: tiny/huge slopes,
+extreme heterogeneity, very large systems, and near-degenerate
+leave-one-out denominators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    optimal_latency_excluding_each,
+    optimal_total_latency,
+    pr_loads,
+)
+from repro.mechanism import VerificationMechanism
+
+
+class TestExtremeMagnitudes:
+    @pytest.mark.parametrize("scale", [1e-9, 1e-3, 1e3, 1e9])
+    def test_pr_allocation_scale_invariant(self, scale):
+        base = np.array([1.0, 2.0, 5.0])
+        np.testing.assert_allclose(
+            pr_loads(base * scale, 7.0), pr_loads(base, 7.0), rtol=1e-10
+        )
+
+    @pytest.mark.parametrize("rate", [1e-9, 1e9])
+    def test_latency_scales_as_rate_squared(self, rate):
+        t = np.array([1.0, 2.0])
+        expected = rate**2 / 1.5
+        assert optimal_total_latency(t, rate) == pytest.approx(expected, rel=1e-12)
+
+    def test_mechanism_survives_mixed_magnitudes(self):
+        t = np.array([1e-6, 1.0, 1e6])
+        outcome = VerificationMechanism().run(t, 10.0, t)
+        assert np.all(np.isfinite(outcome.payments.payment))
+        assert np.all(outcome.payments.utility >= -1e-6)
+        assert outcome.loads.sum() == pytest.approx(10.0)
+
+
+class TestExtremeHeterogeneity:
+    def test_dominant_machine_takes_almost_everything(self):
+        t = np.array([1e-8, 1.0, 1.0])
+        loads = pr_loads(t, 5.0)
+        assert loads[0] / 5.0 > 0.9999
+        assert loads[1] > 0.0  # but nobody is starved to exactly zero
+
+    def test_dominant_machine_bonus_is_huge_but_finite(self):
+        t = np.array([1e-8, 1.0, 1.0])
+        excluded = optimal_latency_excluding_each(t, 5.0)
+        # Removing the dominant machine catastrophically raises L.
+        assert excluded[0] > 1e3 * excluded[1]
+        assert np.all(np.isfinite(excluded))
+
+    def test_frugality_diverges_with_dominance(self):
+        # Known structural fact: the truthful frugality ratio is
+        # unbounded when one machine dominates (its information rent is
+        # the whole system).
+        ratios = []
+        for eps in (1e-1, 1e-2, 1e-3):
+            t = np.array([eps, 1.0, 1.0])
+            outcome = VerificationMechanism().run(t, 5.0, t)
+            ratios.append(outcome.frugality_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+
+class TestLargeSystems:
+    def test_ten_thousand_machines(self):
+        rng = np.random.default_rng(0)
+        t = rng.uniform(1.0, 10.0, size=10_000)
+        outcome = VerificationMechanism().run(t, 1000.0, t)
+        assert outcome.loads.sum() == pytest.approx(1000.0)
+        assert np.all(outcome.payments.utility >= -1e-9)
+        # The truthful frugality ratio converges to exactly 2 in large
+        # systems: ratio = 1 + sum_i s_i/(S - s_i) -> 1 + sum s_i/S = 2.
+        assert outcome.frugality_ratio == pytest.approx(2.0, abs=1e-2)
+
+    def test_near_identical_machines_split_evenly(self):
+        t = np.full(1000, 2.0)
+        t[0] = 2.0 * (1 + 1e-12)
+        loads = pr_loads(t, 100.0)
+        assert np.ptp(loads) / loads.mean() < 1e-9
+
+
+class TestTwoMachineMinimum:
+    def test_smallest_system_with_leave_one_out(self):
+        t = np.array([1.0, 3.0])
+        outcome = VerificationMechanism().run(t, 4.0, t)
+        # L_{-i} on two machines is a single-machine system: R^2 t_other.
+        np.testing.assert_allclose(
+            outcome.payments.bonus,
+            np.array([16 * 3.0, 16 * 1.0]) - outcome.realised_latency,
+        )
+
+    def test_utilities_still_nonnegative(self):
+        t = np.array([1.0, 1000.0])
+        outcome = VerificationMechanism().run(t, 4.0, t)
+        assert np.all(outcome.payments.utility >= 0.0)

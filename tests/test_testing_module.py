@@ -1,0 +1,92 @@
+"""Unit tests for the public invariant checkers (repro.testing)."""
+
+from __future__ import annotations
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro.testing as rt
+from repro.allocation import pr_allocation
+from repro.mechanism import VCGMechanism, VerificationMechanism
+from repro.types import AllocationResult
+
+
+class TestFeasibilityChecker:
+    def test_accepts_pr_allocation(self):
+        rt.assert_feasible_allocation(pr_allocation([1.0, 2.0], 5.0))
+
+    def test_rejects_conservation_violation(self):
+        broken = AllocationResult(
+            loads=np.array([1.0, 1.0]),
+            arrival_rate=5.0,
+            bids=np.array([1.0, 1.0]),
+            total_latency=2.0,
+        )
+        with pytest.raises(AssertionError, match="conservation"):
+            rt.assert_feasible_allocation(broken)
+
+    def test_rejects_negative_load(self):
+        broken = AllocationResult(
+            loads=np.array([6.0, -1.0]),
+            arrival_rate=5.0,
+            bids=np.array([1.0, 1.0]),
+            total_latency=37.0,
+        )
+        with pytest.raises(AssertionError, match="positivity"):
+            rt.assert_feasible_allocation(broken)
+
+
+class TestPaymentIdentityChecker:
+    def test_accepts_verification_outcome(self, mechanism, small_true_values):
+        outcome = mechanism.run(small_true_values, 10.0, small_true_values)
+        rt.assert_payment_identities(outcome)
+
+    def test_accepts_vcg_outcome(self, small_true_values):
+        outcome = VCGMechanism().run(small_true_values, 10.0)
+        rt.assert_payment_identities(outcome)
+
+    def test_bonus_formula_checked_for_verification(self, small_true_values):
+        # A manipulated metadata tag must make the bonus check run and
+        # fail on a non-Definition-3.3 payment rule.
+        from repro.types import MechanismOutcome, PaymentResult
+
+        base = VerificationMechanism().run(small_true_values, 10.0)
+        tampered = MechanismOutcome(
+            allocation=base.allocation,
+            payments=PaymentResult(
+                compensation=base.payments.compensation.copy(),
+                bonus=base.payments.bonus + 1.0,  # wrong bonuses
+                valuation=base.payments.valuation.copy(),
+            ),
+            execution_values=base.execution_values,
+            metadata={"mechanism": "VerificationMechanism"},
+        )
+        with pytest.raises(AssertionError, match="bonus"):
+            rt.assert_payment_identities(tampered)
+
+
+class TestTheoremCheckers:
+    def test_vp_passes_for_paper_mechanism(self, cluster):
+        rt.assert_voluntary_participation(
+            VerificationMechanism(), cluster.true_values, 20.0
+        )
+
+    def test_truthfulness_passes_for_paper_mechanism(self, small_true_values):
+        rt.assert_truthful_on_grid(
+            VerificationMechanism(), small_true_values, 10.0
+        )
+
+    def test_truthfulness_fails_for_declared_variant(self, small_true_values):
+        with pytest.raises(AssertionError, match="truthfulness violated"):
+            rt.assert_truthful_on_grid(
+                VerificationMechanism("declared"), small_true_values, 10.0
+            )
+
+
+class TestDocs:
+    def test_module_doctest(self):
+        results = doctest.testmod(rt, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1

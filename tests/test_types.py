@@ -1,0 +1,125 @@
+"""Unit tests for the result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.types import AllocationResult, MechanismOutcome, PaymentResult
+
+
+def _allocation() -> AllocationResult:
+    return AllocationResult(
+        loads=np.array([2.0, 1.0]),
+        arrival_rate=3.0,
+        bids=np.array([1.0, 2.0]),
+        total_latency=6.0,
+    )
+
+
+class TestAllocationResult:
+    def test_arrays_are_read_only(self):
+        alloc = _allocation()
+        with pytest.raises(ValueError):
+            alloc.loads[0] = 99.0
+        with pytest.raises(ValueError):
+            alloc.bids[0] = 99.0
+
+    def test_n_machines(self):
+        assert _allocation().n_machines == 2
+
+    def test_fractions_sum_to_one(self):
+        assert _allocation().fractions.sum() == pytest.approx(1.0)
+
+    def test_latency_under_execution_values(self):
+        alloc = _allocation()
+        # sum t̃_i x_i^2 = 2*4 + 1*1 = 9
+        assert alloc.latency_under(np.array([2.0, 1.0])) == pytest.approx(9.0)
+
+    def test_latency_under_declared_matches_total(self):
+        alloc = _allocation()
+        assert alloc.latency_under(alloc.bids) == pytest.approx(alloc.total_latency)
+
+    def test_input_array_mutation_does_not_leak(self):
+        loads = np.array([2.0, 1.0])
+        alloc = AllocationResult(
+            loads=loads, arrival_rate=3.0, bids=np.array([1.0, 2.0]), total_latency=6.0
+        )
+        loads[0] = 50.0
+        assert alloc.loads[0] == 2.0
+
+
+class TestPaymentResult:
+    def _payments(self) -> PaymentResult:
+        return PaymentResult(
+            compensation=np.array([4.0, 1.0]),
+            bonus=np.array([2.0, -0.5]),
+            valuation=np.array([-4.0, -1.0]),
+        )
+
+    def test_payment_identity(self):
+        p = self._payments()
+        np.testing.assert_allclose(p.payment, p.compensation + p.bonus)
+
+    def test_utility_identity(self):
+        p = self._payments()
+        np.testing.assert_allclose(p.utility, p.payment + p.valuation)
+
+    def test_totals(self):
+        p = self._payments()
+        assert p.total_payment == pytest.approx(6.5)
+        assert p.total_valuation_magnitude == pytest.approx(5.0)
+
+    def test_arrays_read_only(self):
+        p = self._payments()
+        with pytest.raises(ValueError):
+            p.bonus[0] = 0.0
+
+
+class TestMechanismOutcome:
+    def _outcome(self) -> MechanismOutcome:
+        alloc = _allocation()
+        payments = PaymentResult(
+            compensation=np.array([8.0, 1.0]),
+            bonus=np.array([1.0, 1.0]),
+            valuation=np.array([-8.0, -1.0]),
+        )
+        return MechanismOutcome(
+            allocation=alloc,
+            payments=payments,
+            execution_values=np.array([2.0, 1.0]),
+        )
+
+    def test_realised_latency_uses_execution_values(self):
+        assert self._outcome().realised_latency == pytest.approx(9.0)
+
+    def test_loads_shorthand(self):
+        np.testing.assert_allclose(self._outcome().loads, [2.0, 1.0])
+
+    def test_frugality_ratio(self):
+        out = self._outcome()
+        assert out.frugality_ratio == pytest.approx(11.0 / 9.0)
+
+    def test_frugality_nan_when_valuation_zero(self):
+        alloc = _allocation()
+        payments = PaymentResult(
+            compensation=np.zeros(2), bonus=np.zeros(2), valuation=np.zeros(2)
+        )
+        out = MechanismOutcome(
+            allocation=alloc, payments=payments, execution_values=np.ones(2)
+        )
+        assert np.isnan(out.frugality_ratio)
+
+    def test_true_values_stored_read_only(self):
+        alloc = _allocation()
+        payments = PaymentResult(
+            compensation=np.zeros(2), bonus=np.zeros(2), valuation=np.zeros(2)
+        )
+        out = MechanismOutcome(
+            allocation=alloc,
+            payments=payments,
+            execution_values=np.ones(2),
+            true_values=np.array([1.0, 2.0]),
+        )
+        with pytest.raises(ValueError):
+            out.true_values[0] = 3.0

@@ -1,0 +1,107 @@
+"""Unit tests for the shared validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float_array,
+    check_finite,
+    check_index,
+    check_nonnegative,
+    check_nonnegative_scalar,
+    check_positive,
+    check_positive_scalar,
+    check_same_length,
+)
+
+
+class TestAsFloatArray:
+    def test_list_converts_to_float64(self):
+        arr = as_float_array([1, 2, 3], "x")
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_scalar_becomes_length_one(self):
+        assert as_float_array(5, "x").shape == (1,)
+
+    def test_existing_float_array_is_not_copied(self):
+        arr = np.array([1.0, 2.0])
+        assert as_float_array(arr, "x") is arr
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_float_array(np.ones((2, 2)), "x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            as_float_array([], "x")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_float_array([1.0, np.nan], "x")
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_float_array([np.inf], "x")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            as_float_array([], "myarg")
+
+
+class TestSignChecks:
+    def test_check_positive_accepts_positive(self):
+        check_positive(np.array([0.1, 5.0]), "x")
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            check_positive(np.array([1.0, 0.0]), "x")
+
+    def test_check_nonnegative_accepts_zero(self):
+        check_nonnegative(np.array([0.0, 1.0]), "x")
+
+    def test_check_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonnegative(np.array([-1e-9]), "x")
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_finite(np.array([np.nan]), "x")
+
+
+class TestScalarChecks:
+    def test_positive_scalar_returns_float(self):
+        value = check_positive_scalar(3, "x")
+        assert isinstance(value, float)
+        assert value == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_scalar_rejections(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_scalar(bad, "x")
+
+    def test_nonnegative_scalar_accepts_zero(self):
+        assert check_nonnegative_scalar(0, "x") == 0.0
+
+    def test_nonnegative_scalar_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_scalar(-0.5, "x")
+
+
+class TestStructureChecks:
+    def test_same_length_ok(self):
+        check_same_length("a", [1, 2], "b", np.zeros(2))
+
+    def test_same_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            check_same_length("a", [1], "b", [1, 2])
+
+    def test_check_index_valid(self):
+        assert check_index(2, 5) == 2
+
+    @pytest.mark.parametrize("bad", [-1, 5, 100])
+    def test_check_index_out_of_range(self, bad):
+        with pytest.raises(IndexError):
+            check_index(bad, 5)
