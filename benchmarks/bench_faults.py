@@ -70,17 +70,26 @@ def _run_round(drop: float, seed: int, crash: dict[int, str] | None = None):
     return coordinator, network
 
 
-def test_loss_overhead(benchmark, record_result):
+def test_loss_overhead(benchmark, record_result, record_json):
     result = benchmark(_run_round, 0.2, 42)
     coordinator, _network = result
     assert coordinator.outcome is not None
 
     rows = []
+    points = []
     for drop in (0.0, 0.1, 0.3, 0.5):
         _, network = _run_round(drop, seed=int(100 * drop) + 1)
         payloads = network.delivered_payloads()
         rows.append(
             [f"{100 * drop:.0f}%", payloads, network.transmissions, network.dropped]
+        )
+        points.append(
+            {
+                "drop_probability": drop,
+                "payloads_delivered": payloads,
+                "transmissions": network.transmissions,
+                "dropped": network.dropped,
+            }
         )
         assert payloads == 5 * TRUE_VALUES.size  # exactly-once to the app
     record_result(
@@ -91,9 +100,13 @@ def test_loss_overhead(benchmark, record_result):
             title="A9a. At-least-once delivery overhead vs link loss (n = 8).",
         ),
     )
+    record_json(
+        "ablation_faults_loss",
+        {"machines": int(TRUE_VALUES.size), "points": points},
+    )
 
 
-def test_crash_exclusion(benchmark, record_result):
+def test_crash_exclusion(benchmark, record_result, record_json):
     def run():
         return _run_round(0.0, 7, crash={0: "immediately", 5: "after_bid"})
 
@@ -119,4 +132,14 @@ def test_crash_exclusion(benchmark, record_result):
             rows,
             title="A9b. Crash handling: exclusion and withheld payments.",
         ),
+    )
+    record_json(
+        "ablation_faults_crash",
+        {
+            "machines": int(TRUE_VALUES.size),
+            "excluded": list(coordinator.excluded),
+            "withheld": list(coordinator.withheld),
+            "load_allocated": float(coordinator.outcome.loads.sum()),
+            "realised_latency": float(coordinator.outcome.realised_latency),
+        },
     )

@@ -13,6 +13,7 @@ at thousands of machines).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -29,5 +30,22 @@ def record_result():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n[{name}]\n{text}")
+
+    return _record
+
+
+@pytest.fixture
+def record_json():
+    """Write a machine-readable companion artefact next to the table.
+
+    The ``.txt`` tables are for humans; downstream tooling (plots,
+    regression dashboards) consumes the same rows as
+    ``results/<name>.json`` instead of re-parsing rendered text.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return _record

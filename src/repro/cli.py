@@ -9,6 +9,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro protocol --duration 300 --liar low2
     repro multi-liar --max-liars 8
     repro poa --intercepts 1,0 --slopes 0.000001,1 --rate 1
+    repro resilience --rounds 50 --machines 8 --seed 0
 """
 
 from __future__ import annotations
@@ -243,6 +244,58 @@ def _cmd_poa(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_resilience(args: argparse.Namespace) -> str:
+    from repro.agents import TruthfulAgent
+    from repro.experiments import render_table, table1_configuration
+    from repro.resilience import ChaosHarness, FaultPlan, RoundSupervisor
+
+    config = table1_configuration()
+    true_values = config.cluster.true_values[: args.machines]
+    supervisor = RoundSupervisor(
+        [TruthfulAgent(t) for t in true_values],
+        config.arrival_rate,
+        duration=args.duration,
+        rng=np.random.default_rng(args.seed),
+    )
+    plan = FaultPlan.generate(
+        args.rounds, supervisor.machine_names, seed=args.seed
+    )
+    report = ChaosHarness(
+        supervisor, plan, stop_on_violation=not args.keep_going
+    ).run()
+
+    completed = [r for r in report.rounds if not r.voided]
+    rows = [
+        ["rounds driven", report.n_rounds],
+        ["rounds voided", report.n_voided],
+        ["machine faults injected", plan.n_machine_faults],
+        ["coordinator crashes injected", plan.n_coordinator_crashes],
+        ["coordinator restarts survived", report.n_coordinator_restarts],
+        ["bid retries issued", sum(r.bid_retries for r in report.rounds)],
+        ["report retries issued", sum(r.report_retries for r in report.rounds)],
+        ["CUSUM slowdown alerts", report.n_alerts],
+        ["rounds with quarantined machines", report.n_quarantine_events],
+        ["jobs routed", sum(r.jobs_routed for r in report.rounds)],
+        ["invariant violations", len(report.violations)],
+    ]
+    if completed:
+        mean_latency = sum(
+            r.outcome.realised_latency for r in completed
+        ) / len(completed)
+        rows.insert(1, ["mean realised latency", f"{mean_latency:.2f}"])
+    table = render_table(
+        ["quantity", "value"],
+        rows,
+        title=f"Chaos campaign: {args.rounds} supervised rounds, "
+        f"{len(true_values)} machines, seed {args.seed}.",
+    )
+    if report.violations:
+        table += "\n\nINVARIANT VIOLATIONS:\n" + "\n".join(
+            f"  {v}" for v in report.violations
+        )
+    return table
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> str:
     from repro.experiments import reproduce_all
 
@@ -346,6 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
     poa.add_argument("--slopes", default="0.000001,1")
     poa.add_argument("--rate", type=float, default=1.0)
     poa.set_defaults(func=_cmd_poa)
+
+    resilience = sub.add_parser(
+        "resilience", help="run a seeded chaos campaign over the supervised loop"
+    )
+    resilience.add_argument("--rounds", type=int, default=20)
+    resilience.add_argument("--machines", type=int, default=8)
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument(
+        "--duration", type=float, default=40.0,
+        help="job-generation window per round (simulated seconds)",
+    )
+    resilience.add_argument(
+        "--keep-going", action="store_true",
+        help="collect invariant violations instead of stopping at the first",
+    )
+    resilience.set_defaults(func=_cmd_resilience)
 
     verify = sub.add_parser("verify", help="check every recoverable paper claim")
     verify.set_defaults(func=_cmd_verify)

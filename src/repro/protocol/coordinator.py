@@ -37,13 +37,21 @@ COORDINATOR_NAME = "mechanism"
 
 
 class ProtocolPhase(enum.Enum):
-    """Phases of the centralised protocol, in order."""
+    """Phases of the centralised protocol, in order.
+
+    ``VOIDED`` is a terminal phase outside the normal sequence: the
+    round was abandoned before any allocation was decided (e.g. no
+    machine bid before the deadline, or a restarted coordinator could
+    not recover enough state to continue).  A voided round routes no
+    jobs and pays nobody.
+    """
 
     IDLE = "idle"
     BIDDING = "bidding"
     EXECUTING = "executing"
     VERIFYING = "verifying"
     DONE = "done"
+    VOIDED = "voided"
 
 
 @dataclass
@@ -212,6 +220,16 @@ class MechanismCoordinator:
         self.phase = ProtocolPhase.DONE
 
     # ------------------------------------------------------------ helpers
+
+    @property
+    def pending_bidders(self) -> list[str]:
+        """Machines whose bid has not arrived yet (``machine_names`` order)."""
+        return [n for n in self.machine_names if n not in self._bids]
+
+    @property
+    def pending_reporters(self) -> list[str]:
+        """Machines whose completion report has not arrived yet."""
+        return [n for n in self.machine_names if n not in self._reports]
 
     def bids_vector(self) -> np.ndarray:
         """Collected bids in ``machine_names`` order."""

@@ -226,13 +226,32 @@ class FaultTolerantCoordinator(MechanismCoordinator):
         if len(self._bids) == len(self.machine_names):
             self._allocate_to_responders()
 
-    def close_bidding(self) -> None:
-        """Bid deadline: proceed with whoever has responded."""
+    def close_bidding(self, *, void_if_empty: bool = False) -> None:
+        """Bid deadline: proceed with whoever has responded.
+
+        With ``void_if_empty`` a deadline that finds zero bids voids
+        the round cleanly (phase ``VOIDED``, no allocation, no
+        payments) instead of raising; supervised multi-round loops use
+        this to skip a dead round and carry on.
+        """
         if self.phase is not ProtocolPhase.BIDDING:
             return  # already past bidding (everyone answered in time)
         if not self._bids:
+            if void_if_empty:
+                self.void_round()
+                return
             raise RuntimeError("no machine bid before the deadline")
         self._allocate_to_responders()
+
+    def void_round(self) -> None:
+        """Abandon the round before allocation: nothing routed, nobody paid."""
+        if self.phase not in (ProtocolPhase.IDLE, ProtocolPhase.BIDDING):
+            raise RuntimeError(
+                f"cannot void a round in phase {self.phase}: an allocation "
+                "has already been announced"
+            )
+        self.excluded = list(self.machine_names)
+        self.phase = ProtocolPhase.VOIDED
 
     def _allocate_to_responders(self) -> None:
         responders = [n for n in self.machine_names if n in self._bids]

@@ -50,11 +50,22 @@ class ProtocolResult:
 
     @property
     def estimation_relative_error(self) -> np.ndarray:
-        """``|t̂ - t̃| / t̃`` per machine (verification noise)."""
-        return (
-            np.abs(self.estimated_execution_values - self.true_execution_values)
-            / self.true_execution_values
+        """``|t̂ - t̃| / t̃`` per machine (verification noise).
+
+        Entries where the relative error is undefined — a machine whose
+        true execution value is 0, or one that was allocated no load
+        (so there were no completions to estimate from) — are ``nan``
+        rather than raising or emitting divide warnings.
+        """
+        defined = (self.true_execution_values > 0.0) & (self.outcome.loads > 0.0)
+        error = np.full(self.true_execution_values.shape, np.nan)
+        np.divide(
+            np.abs(self.estimated_execution_values - self.true_execution_values),
+            self.true_execution_values,
+            out=error,
+            where=defined,
         )
+        return error
 
 
 def run_protocol(
@@ -98,7 +109,16 @@ def run_protocol(
         retransmissions).
     """
     if len(agents) == 0:
-        raise ValueError("at least one agent is required")
+        raise ValueError(
+            "agents must be a non-empty sequence: the protocol needs at "
+            "least one machine to allocate to"
+        )
+    if not 0.0 <= drop_probability < 1.0:
+        raise ValueError(
+            f"drop_probability must be in [0, 1), got {drop_probability:g} "
+            "(1.0 would mean every transmission is lost and the round "
+            "could never complete)"
+        )
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
     duration = check_positive_scalar(duration, "duration")
     if mechanism is None:

@@ -1,0 +1,73 @@
+"""Resilience layer: supervised rounds, quarantine, recovery, chaos.
+
+The protocol layer (``repro.protocol``) runs *one* round of the
+verification mechanism and already tolerates individual faults —
+message loss, missed bids, missed reports.  This subpackage turns that
+single round into a production-shaped *supervised loop* and makes its
+fault-tolerance claims falsifiable:
+
+* :class:`RoundSupervisor` drives repeated rounds over the DES
+  substrate, retrying missed bids/reports with exponential backoff
+  (:class:`BackoffPolicy`) before letting the coordinator exclude or
+  impute anybody;
+* :class:`QuarantinePolicy` is a per-machine circuit breaker
+  (closed → open → half-open) fed by the coordinator's exclusions and
+  the CUSUM slowdown alerts; quarantined machines sit out and their
+  load is re-spread by the *incremental* PR allocator rather than a
+  from-scratch rebuild;
+* :class:`SupervisedCoordinator` + :class:`CheckpointStore` give the
+  coordinator crash/restore semantics: a write-ahead payment ledger
+  guarantees at-most-once payment across restarts;
+* :class:`ChaosHarness` + :class:`FaultPlan` inject seeded randomized
+  fault schedules and re-check the mechanism's economic invariants
+  (:func:`check_round_invariants`) after every round.
+"""
+
+from repro.resilience.retry import BackoffPolicy
+from repro.resilience.quarantine import (
+    CircuitState,
+    MachineHealth,
+    QuarantinePolicy,
+)
+from repro.resilience.checkpoint import CheckpointStore, CoordinatorCheckpoint
+from repro.resilience.supervisor import (
+    CoordinatorCrash,
+    RoundResult,
+    RoundSupervisor,
+    SupervisedCoordinator,
+    SupervisorReport,
+)
+from repro.resilience.invariants import (
+    InvariantError,
+    InvariantViolation,
+    check_round_invariants,
+)
+from repro.resilience.chaos import (
+    ChaosHarness,
+    ChaosReport,
+    FaultPlan,
+    MachineFault,
+    RoundFaults,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "CircuitState",
+    "MachineHealth",
+    "QuarantinePolicy",
+    "CheckpointStore",
+    "CoordinatorCheckpoint",
+    "CoordinatorCrash",
+    "RoundResult",
+    "RoundSupervisor",
+    "SupervisedCoordinator",
+    "SupervisorReport",
+    "InvariantError",
+    "InvariantViolation",
+    "check_round_invariants",
+    "ChaosHarness",
+    "ChaosReport",
+    "FaultPlan",
+    "MachineFault",
+    "RoundFaults",
+]

@@ -1,0 +1,145 @@
+"""Coordinator checkpoint/restore: crash the mechanism, not the round.
+
+The coordinator is a single point of failure: if it dies mid-round the
+machines have already burned cycles executing jobs, and naively
+restarting it either loses the round or — worse — pays twice.  The fix
+is the standard write-ahead pattern: the coordinator serialises its
+*inputs* (phase, collected bids, decided loads, received reports, and
+the set of payments already issued) at every state transition, and a
+restarted coordinator deterministically recomputes everything derived
+(estimates, outcome, remaining payments) from that record.
+
+Two properties matter and are enforced by tests and the chaos harness:
+
+* **resume, don't redo** — a coordinator restored in ``EXECUTING``
+  keeps the allocation it already announced and simply continues
+  collecting reports; one restored in ``VERIFYING`` re-derives the
+  outcome and issues only the payments *not* in ``payments_sent``
+  (at-most-once payment semantics);
+* **void, don't guess** — a coordinator restored before any allocation
+  was announced (``IDLE``/``BIDDING``) voids the round: no allocation
+  reached any machine, so abandoning is safe and cheap.
+
+Checkpoints round-trip through JSON so the "durable store" can be a
+file, a database row, or (in tests) an in-memory string — the
+serialisation boundary is what proves no live object sneaks through.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["CoordinatorCheckpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class CoordinatorCheckpoint:
+    """Everything a restarted coordinator needs to resume a round.
+
+    Attributes
+    ----------
+    phase:
+        The :class:`~repro.protocol.ProtocolPhase` value string.
+    machine_names:
+        Machines still in the round (responders after any exclusion).
+    arrival_rate:
+        Total rate ``R`` being allocated.
+    bids:
+        Collected bids by machine name.
+    loads:
+        The announced allocation in ``machine_names`` order, or
+        ``None`` if no allocation was decided yet.
+    reports:
+        Received completion reports: name → (jobs_completed,
+        mean_sojourn).
+    excluded / withheld:
+        Names excluded at the bid deadline / whose payment is withheld.
+    payments_sent:
+        Payments already issued: name → (payment, compensation, bonus).
+        The restore path never re-issues these.
+    """
+
+    phase: str
+    machine_names: list[str]
+    arrival_rate: float
+    bids: dict[str, float] = field(default_factory=dict)
+    loads: list[float] | None = None
+    reports: dict[str, tuple[int, float]] = field(default_factory=dict)
+    excluded: list[str] = field(default_factory=list)
+    withheld: list[str] = field(default_factory=list)
+    payments_sent: dict[str, tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (the durable representation)."""
+        return json.dumps(
+            {
+                "phase": self.phase,
+                "machine_names": list(self.machine_names),
+                "arrival_rate": self.arrival_rate,
+                "bids": dict(self.bids),
+                "loads": None if self.loads is None else list(self.loads),
+                "reports": {
+                    name: [int(jobs), float(sojourn)]
+                    for name, (jobs, sojourn) in self.reports.items()
+                },
+                "excluded": list(self.excluded),
+                "withheld": list(self.withheld),
+                "payments_sent": {
+                    name: [float(p), float(c), float(b)]
+                    for name, (p, c, b) in self.payments_sent.items()
+                },
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CoordinatorCheckpoint":
+        """Rebuild a checkpoint from its JSON representation."""
+        raw = json.loads(payload)
+        return cls(
+            phase=raw["phase"],
+            machine_names=list(raw["machine_names"]),
+            arrival_rate=float(raw["arrival_rate"]),
+            bids={name: float(bid) for name, bid in raw["bids"].items()},
+            loads=None if raw["loads"] is None else [float(x) for x in raw["loads"]],
+            reports={
+                name: (int(jobs), float(sojourn))
+                for name, (jobs, sojourn) in raw["reports"].items()
+            },
+            excluded=list(raw["excluded"]),
+            withheld=list(raw["withheld"]),
+            payments_sent={
+                name: (float(p), float(c), float(b))
+                for name, (p, c, b) in raw["payments_sent"].items()
+            },
+        )
+
+
+class CheckpointStore:
+    """A durable slot for the latest checkpoint.
+
+    Stores the *serialised* form: every save round-trips through JSON,
+    so anything that would not survive a real process restart fails
+    loudly in tests rather than silently working in memory.
+    """
+
+    def __init__(self) -> None:
+        self._payload: str | None = None
+        self.saves = 0
+
+    def save(self, checkpoint: CoordinatorCheckpoint) -> None:
+        """Persist ``checkpoint``, replacing any previous one."""
+        self._payload = checkpoint.to_json()
+        self.saves += 1
+
+    def load(self) -> CoordinatorCheckpoint | None:
+        """The most recent checkpoint, or ``None`` if nothing was saved."""
+        if self._payload is None:
+            return None
+        return CoordinatorCheckpoint.from_json(self._payload)
+
+    def clear(self) -> None:
+        """Drop the stored checkpoint (end of a completed round)."""
+        self._payload = None

@@ -1,0 +1,87 @@
+"""Retry pacing: exponential backoff with jitter.
+
+When a machine misses a control-message deadline (bid, report) the
+supervisor re-requests instead of excluding it immediately — transient
+unresponsiveness (GC pause, overload spike, a flapping link above what
+the transport already absorbs) heals under a couple of retries, and
+only persistent silence should cost a machine its slot in the round.
+
+The pacing is the standard AWS-style "full jitter" schedule: the
+``k``-th retry waits ``uniform(0, min(cap, base * factor**k))``.  The
+randomised wait prevents synchronized retry storms when many machines
+miss the same deadline; the exponential envelope keeps the total time
+spent waiting on a dead machine bounded by a geometric series.  All
+randomness comes from an injected generator so supervised runs stay
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_scalar
+
+__all__ = ["BackoffPolicy"]
+
+
+class BackoffPolicy:
+    """Exponential backoff with full jitter over simulated time.
+
+    Parameters
+    ----------
+    base:
+        Envelope of the first retry delay (seconds of simulated time).
+    factor:
+        Growth of the envelope per attempt (must be >= 1).
+    cap:
+        Upper bound on the envelope; delays never exceed it.
+    jitter:
+        Fraction of the envelope that is randomised.  ``1.0`` (default)
+        is full jitter — the delay is uniform on ``(0, envelope]``;
+        ``0.0`` is deterministic exponential backoff.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.5,
+        factor: float = 2.0,
+        cap: float = 30.0,
+        *,
+        jitter: float = 1.0,
+    ) -> None:
+        self.base = check_positive_scalar(base, "base")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor:g}")
+        self.factor = float(factor)
+        self.cap = check_positive_scalar(cap, "cap")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter:g}")
+        self.jitter = float(jitter)
+
+    def envelope(self, attempt: int) -> float:
+        """Deterministic upper bound of the ``attempt``-th retry delay."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.cap, self.base * self.factor**attempt)
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Sample the wait before retry number ``attempt`` (0-based).
+
+        The result is strictly positive (a zero delay would re-fire in
+        the same simulator timestep as the failure it reacts to).
+        """
+        envelope = self.envelope(attempt)
+        if self.jitter == 0.0:
+            return envelope
+        jittered = envelope * (1.0 - self.jitter * float(rng.random()))
+        return max(jittered, envelope * 1e-6)
+
+    def schedule(self, attempts: int, rng: np.random.Generator) -> list[float]:
+        """Sample the full delay sequence for ``attempts`` retries."""
+        return [self.delay(k, rng) for k in range(attempts)]
+
+    def __repr__(self) -> str:
+        return (
+            f"BackoffPolicy(base={self.base:g}, factor={self.factor:g}, "
+            f"cap={self.cap:g}, jitter={self.jitter:g})"
+        )

@@ -1,0 +1,870 @@
+"""Supervised multi-round protocol: retry, quarantine, recover, repeat.
+
+One :func:`~repro.protocol.run_protocol` call prices a single clean
+round.  A deployment runs the mechanism continuously against machines
+that flap, links that drop, and a coordinator that can itself die; the
+:class:`RoundSupervisor` here is the control loop that keeps allocating
+through all of that:
+
+* **retry with backoff** — a machine that misses the bid or report
+  deadline is re-asked under a jittered exponential
+  :class:`~repro.resilience.retry.BackoffPolicy` before being excluded,
+  so transient unresponsiveness does not cost it the round;
+* **quarantine** — per-round outcomes (missed deadlines after retries,
+  CUSUM slowdown alerts) feed a
+  :class:`~repro.resilience.quarantine.QuarantinePolicy` circuit
+  breaker; quarantined machines sit out and their load is reallocated
+  to the survivors via the *incremental* PR state (an O(changes)
+  update, not an O(n) recompute);
+* **coordinator recovery** — the per-round
+  :class:`SupervisedCoordinator` write-ahead-checkpoints its inputs to
+  a :class:`~repro.resilience.checkpoint.CheckpointStore`; a crashed
+  coordinator is restored from the serialized checkpoint and either
+  resumes the round or voids it, never paying a machine twice.
+
+The supervisor is deliberately deterministic given its seed: the chaos
+harness (:mod:`repro.resilience.chaos`) replays identical fault
+schedules against it and asserts the mechanism invariants after every
+round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro._validation import check_positive_scalar
+from repro.agents.base import Agent
+from repro.allocation.incremental import IncrementalPRState
+from repro.mechanism.base import Mechanism
+from repro.mechanism.compensation_bonus import VerificationMechanism
+from repro.protocol.coordinator import COORDINATOR_NAME, MachineNode, ProtocolPhase
+from repro.protocol.faults import FaultTolerantCoordinator, ReliableNetwork
+from repro.protocol.messages import (
+    AllocationNotice,
+    BidRequest,
+    CompletionReport,
+    Message,
+    PaymentNotice,
+)
+from repro.protocol.monitoring import CusumSlowdownDetector
+from repro.protocol.network import SimulatedNetwork
+from repro.resilience.checkpoint import CheckpointStore, CoordinatorCheckpoint
+from repro.resilience.quarantine import CircuitState, QuarantinePolicy
+from repro.resilience.retry import BackoffPolicy
+from repro.system.des import Simulator
+from repro.system.machine import LinearLatencyMachine
+from repro.system.workload import PoissonWorkload, split_workload
+from repro.types import AllocationResult, MechanismOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (chaos imports us)
+    from repro.resilience.chaos import RoundFaults
+
+__all__ = [
+    "CoordinatorCrash",
+    "SupervisedCoordinator",
+    "RoundResult",
+    "SupervisorReport",
+    "RoundSupervisor",
+]
+
+
+class CoordinatorCrash(RuntimeError):
+    """Injected coordinator failure: the process died mid-round."""
+
+
+@dataclass
+class SupervisedCoordinator(FaultTolerantCoordinator):
+    """A fault-tolerant coordinator that checkpoints and pays at most once.
+
+    Extends :class:`~repro.protocol.FaultTolerantCoordinator` with:
+
+    * ``allocator`` — optional override for the allocation step, so the
+      supervisor can serve loads from its incremental PR state instead
+      of recomputing from scratch;
+    * ``checkpoint_store`` — write-ahead persistence of phase, bids,
+      loads, reports, and issued payments at every state transition;
+    * ``payments_sent`` — the at-most-once ledger: a payment is
+      recorded (and checkpointed) *before* its notice is sent, and
+      never re-issued by a restored coordinator;
+    * ``fail_after_payments`` — chaos hook: raise
+      :class:`CoordinatorCrash` once that many payments were issued;
+    * ``min_participants`` — rounds that shrink below this many
+      responders are voided (the bonus term needs a leave-one-out
+      system, so fewer than two machines cannot be priced).
+    """
+
+    allocator: (
+        Callable[[list[str], np.ndarray, float], AllocationResult] | None
+    ) = None
+    checkpoint_store: CheckpointStore | None = None
+    fail_after_payments: int | None = None
+    min_participants: int = 2
+    payments_sent: dict[str, tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+
+    # --------------------------------------------------------- overrides
+
+    def _on_bid(self, reply) -> None:
+        super()._on_bid(reply)
+        if self.phase is ProtocolPhase.BIDDING:
+            self._save_checkpoint()
+
+    def _on_report(self, report) -> None:
+        phase_before = self.phase
+        super()._on_report(report)
+        if self.phase is phase_before:
+            self._save_checkpoint()
+
+    def _allocate_to_responders(self) -> None:
+        responders = [n for n in self.machine_names if n in self._bids]
+        if len(responders) < self.min_participants:
+            self.void_round()
+            self._save_checkpoint()
+            return
+        self.excluded = [n for n in self.machine_names if n not in self._bids]
+        self.machine_names = responders
+
+        bids = self.bids_vector()
+        if self.allocator is not None:
+            allocation = self.allocator(responders, bids, self.arrival_rate)
+        else:
+            allocation = self.mechanism.allocate(bids, self.arrival_rate)
+        self._loads = allocation.loads
+        self.phase = ProtocolPhase.EXECUTING
+        self._save_checkpoint()
+        for name, load in zip(self.machine_names, allocation.loads):
+            self.network.send(
+                AllocationNotice(
+                    sender=COORDINATOR_NAME, receiver=name, load=float(load)
+                )
+            )
+        if self.on_allocated is not None:
+            self.on_allocated(allocation.loads)
+
+    def _finish_with_missing(self, missing: set[str]) -> None:
+        self.phase = ProtocolPhase.VERIFYING
+        self.withheld = sorted(missing)
+        self._save_checkpoint()
+        self._complete_verification()
+
+    def void_round(self) -> None:
+        """Abandon the round and checkpoint the terminal state."""
+        super().void_round()
+        self._save_checkpoint()
+
+    # --------------------------------------------------------- verification
+
+    def _complete_verification(self) -> None:
+        """Estimate, price, and pay — skipping payments already issued.
+
+        Pure function of the checkpointed inputs (bids, loads,
+        reports, withheld), so a restored coordinator re-derives the
+        identical outcome and only issues the missing notices.
+        """
+        bids = self.bids_vector()
+        assert self._loads is not None
+        missing = set(self.withheld)
+
+        estimates = np.empty(len(self.machine_names))
+        for k, name in enumerate(self.machine_names):
+            if name in missing:
+                estimates[k] = self.missing_report_factor * bids[k]
+                continue
+            report = self._reports[name]
+            if report.jobs_completed == 0 or self._loads[k] == 0.0:
+                estimates[k] = bids[k]
+            else:
+                estimates[k] = report.mean_sojourn / self._loads[k]
+
+        self.estimated_execution_values = estimates
+        self.outcome = self.mechanism.run(bids, self.arrival_rate, estimates)
+        payments = self.outcome.payments
+        for k, name in enumerate(self.machine_names):
+            if name in self.payments_sent:
+                continue  # issued before a crash: never pay twice
+            if (
+                self.fail_after_payments is not None
+                and len(self.payments_sent) >= self.fail_after_payments
+            ):
+                raise CoordinatorCrash(
+                    f"coordinator died after issuing "
+                    f"{len(self.payments_sent)} payments"
+                )
+            if name in missing:
+                amounts = (0.0, 0.0, 0.0)
+            else:
+                amounts = (
+                    float(payments.payment[k]),
+                    float(payments.compensation[k]),
+                    float(payments.bonus[k]),
+                )
+            # Write-ahead: record and persist the intent, then send.
+            self.payments_sent[name] = amounts
+            self._save_checkpoint()
+            self.network.send(
+                PaymentNotice(
+                    sender=COORDINATOR_NAME,
+                    receiver=name,
+                    payment=amounts[0],
+                    compensation=amounts[1],
+                    bonus=amounts[2],
+                )
+            )
+        self.phase = ProtocolPhase.DONE
+        self._save_checkpoint()
+
+    # --------------------------------------------------------- persistence
+
+    def checkpoint(self) -> CoordinatorCheckpoint:
+        """Snapshot the coordinator's inputs as a serialisable record."""
+        return CoordinatorCheckpoint(
+            phase=self.phase.value,
+            machine_names=list(self.machine_names),
+            arrival_rate=self.arrival_rate,
+            bids=dict(self._bids),
+            loads=None if self._loads is None else [float(x) for x in self._loads],
+            reports={
+                name: (report.jobs_completed, report.mean_sojourn)
+                for name, report in self._reports.items()
+            },
+            excluded=list(self.excluded),
+            withheld=list(self.withheld),
+            payments_sent=dict(self.payments_sent),
+        )
+
+    def _save_checkpoint(self) -> None:
+        if self.checkpoint_store is not None:
+            self.checkpoint_store.save(self.checkpoint())
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: CoordinatorCheckpoint,
+        *,
+        mechanism: Mechanism,
+        network,
+        on_allocated=None,
+        checkpoint_store: CheckpointStore | None = None,
+        allocator=None,
+    ) -> "SupervisedCoordinator":
+        """Rebuild a coordinator from a checkpoint after a crash.
+
+        The restored instance carries no chaos hook
+        (``fail_after_payments`` is cleared): the replacement process
+        is assumed healthy.
+        """
+        coordinator = cls(
+            mechanism=mechanism,
+            machine_names=list(checkpoint.machine_names),
+            arrival_rate=checkpoint.arrival_rate,
+            network=network,
+            on_allocated=on_allocated,
+            checkpoint_store=checkpoint_store,
+            allocator=allocator,
+        )
+        coordinator.phase = ProtocolPhase(checkpoint.phase)
+        coordinator._bids = dict(checkpoint.bids)
+        coordinator._loads = (
+            None if checkpoint.loads is None else np.array(checkpoint.loads)
+        )
+        coordinator._reports = {
+            name: CompletionReport(
+                sender=name,
+                receiver=COORDINATOR_NAME,
+                jobs_completed=jobs,
+                mean_sojourn=sojourn,
+            )
+            for name, (jobs, sojourn) in checkpoint.reports.items()
+        }
+        coordinator.excluded = list(checkpoint.excluded)
+        coordinator.withheld = list(checkpoint.withheld)
+        coordinator.payments_sent = dict(checkpoint.payments_sent)
+        return coordinator
+
+    def resume(self) -> None:
+        """Continue (or safely abandon) the round after a restore.
+
+        * ``IDLE``/``BIDDING`` — no allocation ever reached a machine,
+          so the round is voided (cheap, safe, no payments);
+        * ``EXECUTING`` — the allocation stands; keep waiting for
+          reports (they arrive through :meth:`handle` as usual);
+        * ``VERIFYING`` — re-derive the outcome and issue exactly the
+          payments not yet in ``payments_sent``;
+        * ``DONE``/``VOIDED`` — nothing left to do.
+        """
+        if self.phase in (ProtocolPhase.IDLE, ProtocolPhase.BIDDING):
+            self.void_round()
+        elif self.phase is ProtocolPhase.VERIFYING:
+            self._complete_verification()
+
+
+@dataclass
+class RoundResult:
+    """Everything observable after one supervised round."""
+
+    index: int
+    participants: list[str]
+    probes: list[str]
+    quarantined: list[str]
+    excluded: list[str]
+    withheld: list[str]
+    alerts: list[str]
+    faulted: list[str]
+    fault_kinds: dict[str, str]
+    voided: bool
+    outcome: MechanismOutcome | None
+    loads: dict[str, float]
+    payments: dict[str, float]
+    utilities: dict[str, float]
+    payment_notices: dict[str, int]
+    bid_retries: int
+    report_retries: int
+    coordinator_restarts: int
+    arrival_rate: float
+    jobs_routed: int
+
+    @property
+    def live_names(self) -> list[str]:
+        """Machines that stayed in the round through allocation."""
+        return list(self.loads)
+
+
+@dataclass
+class SupervisorReport:
+    """Aggregate view over a sequence of supervised rounds."""
+
+    rounds: list[RoundResult] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of rounds driven."""
+        return len(self.rounds)
+
+    @property
+    def n_voided(self) -> int:
+        """Rounds abandoned before allocation."""
+        return sum(1 for r in self.rounds if r.voided)
+
+    @property
+    def total_bid_retries(self) -> int:
+        """Bid re-requests issued across all rounds."""
+        return sum(r.bid_retries for r in self.rounds)
+
+    @property
+    def total_report_retries(self) -> int:
+        """Report re-requests issued across all rounds."""
+        return sum(r.report_retries for r in self.rounds)
+
+    @property
+    def total_coordinator_restarts(self) -> int:
+        """Coordinator crash/restore cycles across all rounds."""
+        return sum(r.coordinator_restarts for r in self.rounds)
+
+    @property
+    def total_alerts(self) -> int:
+        """CUSUM slowdown alerts raised across all rounds."""
+        return sum(len(r.alerts) for r in self.rounds)
+
+
+class _IncrementalAllocator:
+    """PR allocation served from cross-round incremental state.
+
+    Keeps one :class:`~repro.allocation.IncrementalPRState` alive
+    across rounds; each round's (names, bids) is reconciled against it
+    with O(changes) add/remove/update operations — a quarantined
+    machine is one ``remove_machine``, a re-admitted probe one
+    ``add_machine`` — instead of rebuilding the O(n) sums from scratch.
+    """
+
+    def __init__(self) -> None:
+        self._state: IncrementalPRState | None = None
+        self._names: list[str] = []
+        self.incremental_ops = 0
+        self.rebuilds = 0
+
+    def allocate(
+        self, names: list[str], bids: np.ndarray, arrival_rate: float
+    ) -> AllocationResult:
+        """Loads for ``names``/``bids`` via incremental reconciliation."""
+        self._reconcile(names, bids, arrival_rate)
+        assert self._state is not None
+        order = [self._names.index(n) for n in names]
+        loads = self._state.loads()[order]
+        return AllocationResult(
+            loads=loads,
+            arrival_rate=arrival_rate,
+            bids=bids,
+            total_latency=float(np.dot(bids, loads**2)),
+        )
+
+    def _reconcile(
+        self, names: list[str], bids: np.ndarray, arrival_rate: float
+    ) -> None:
+        wanted = dict(zip(names, (float(b) for b in bids)))
+        if (
+            self._state is None
+            or self._state.arrival_rate != arrival_rate
+            or not set(self._names) & set(wanted)
+        ):
+            self._state = IncrementalPRState(
+                np.array([wanted[n] for n in names]), arrival_rate
+            )
+            self._names = list(names)
+            self.rebuilds += 1
+            return
+        for name in [n for n in self._names if n not in wanted]:
+            index = self._names.index(name)
+            self._state.remove_machine(index)
+            del self._names[index]
+            self.incremental_ops += 1
+        for index, name in enumerate(self._names):
+            bid = wanted[name]
+            if bid != self._state.bids[index]:
+                self._state.update_bid(index, bid)
+                self.incremental_ops += 1
+        for name in names:
+            if name not in self._names:
+                self._state.add_machine(wanted[name])
+                self._names.append(name)
+                self.incremental_ops += 1
+
+
+class _SupervisedNode:
+    """Per-round wrapper: applies injected faults, counts payment notices."""
+
+    def __init__(self, inner: MachineNode, fault=None) -> None:
+        self.inner = inner
+        self.fault = fault
+        self.payment_notices = 0
+        self._bid_requests_ignored = 0
+        self._report_requests_ignored = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def machine(self) -> LinearLatencyMachine:
+        return self.inner.machine
+
+    def _crashed(self, point: str) -> bool:
+        return (
+            self.fault is not None
+            and self.fault.kind == "crash"
+            and self.fault.point == point
+        )
+
+    def handle(self, message: Message, sim: Simulator) -> None:
+        if isinstance(message, PaymentNotice):
+            self.payment_notices += 1  # counted even if the node is dead
+        if self._crashed("immediately"):
+            return
+        if (
+            isinstance(message, BidRequest)
+            and self.fault is not None
+            and self.fault.kind == "withhold_bid"
+            and self._bid_requests_ignored < self.fault.count
+        ):
+            self._bid_requests_ignored += 1
+            return
+        self.inner.handle(message, sim)
+
+    def report_completion(self) -> None:
+        if self._crashed("immediately") or self._crashed("after_bid"):
+            return
+        if (
+            self.fault is not None
+            and self.fault.kind == "withhold_report"
+            and self._report_requests_ignored < self.fault.count
+        ):
+            self._report_requests_ignored += 1
+            return
+        self.inner.report_completion()
+
+
+class RoundSupervisor:
+    """Drive the verification mechanism as a supervised multi-round loop.
+
+    Parameters
+    ----------
+    agents:
+        The strategic machine owners, one per machine; machine ``k`` is
+        named ``C{k+1}`` unless ``machine_names`` overrides it.
+    arrival_rate:
+        Total job rate ``R`` allocated every round.
+    mechanism:
+        Payment rule; defaults to the paper's
+        :class:`~repro.mechanism.VerificationMechanism`.
+    quarantine:
+        Circuit-breaker policy (see
+        :class:`~repro.resilience.QuarantinePolicy`).
+    backoff:
+        Retry pacing for missed bids/reports.
+    max_bid_attempts / max_report_attempts:
+        Retry budget per phase before a machine is excluded/withheld.
+    duration:
+        Job-generation window per round (simulated seconds).
+    detector_threshold / detector_slack:
+        CUSUM parameters for the per-machine slowdown detectors.
+    deterministic_service:
+        Run machines with noise-free service times (default), making
+        execution-value estimates exact and the mechanism invariants
+        sharp; set ``False`` for stochastic service.
+    rng:
+        Randomness source for workloads, retries, and service noise.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[Agent],
+        arrival_rate: float,
+        *,
+        mechanism: Mechanism | None = None,
+        quarantine: QuarantinePolicy | None = None,
+        backoff: BackoffPolicy | None = None,
+        max_bid_attempts: int = 3,
+        max_report_attempts: int = 2,
+        duration: float = 40.0,
+        detector_threshold: float = 15.0,
+        detector_slack: float = 0.25,
+        deterministic_service: bool = True,
+        rng: np.random.Generator | None = None,
+        machine_names: Sequence[str] | None = None,
+    ) -> None:
+        if len(agents) < 2:
+            raise ValueError("the supervisor needs at least two machines")
+        if machine_names is None:
+            machine_names = [f"C{i + 1}" for i in range(len(agents))]
+        if len(machine_names) != len(agents):
+            raise ValueError("machine_names must match agents in length")
+        if max_bid_attempts < 0 or max_report_attempts < 0:
+            raise ValueError("retry budgets must be non-negative")
+        self.agents: dict[str, Agent] = dict(zip(machine_names, agents))
+        self.arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+        self.mechanism = mechanism if mechanism is not None else VerificationMechanism()
+        self.quarantine = quarantine if quarantine is not None else QuarantinePolicy()
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.max_bid_attempts = int(max_bid_attempts)
+        self.max_report_attempts = int(max_report_attempts)
+        self.duration = check_positive_scalar(duration, "duration")
+        self.detector_threshold = check_positive_scalar(
+            detector_threshold, "detector_threshold"
+        )
+        if detector_slack < 0.0:
+            raise ValueError("detector_slack must be non-negative")
+        self.detector_slack = float(detector_slack)
+        self.deterministic_service = bool(deterministic_service)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        for name in machine_names:
+            self.quarantine.admit(name)
+        self._allocator = _IncrementalAllocator()
+        self._round_index = 0
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def allocator(self) -> _IncrementalAllocator:
+        """The cross-round incremental PR allocator (for inspection)."""
+        return self._allocator
+
+    @property
+    def machine_names(self) -> list[str]:
+        """All managed machine names, in registration order."""
+        return list(self.agents)
+
+    def honest_names(self) -> set[str]:
+        """Machines whose agent bids and executes its true value."""
+        return {
+            name
+            for name, agent in self.agents.items()
+            if agent.bid() == agent.true_value
+            and agent.execution_value() == agent.true_value
+        }
+
+    # ------------------------------------------------------------ rounds
+
+    def run(self, n_rounds: int, fault_plan=None) -> SupervisorReport:
+        """Drive ``n_rounds`` rounds, optionally under a fault plan."""
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be at least 1")
+        report = SupervisorReport()
+        for k in range(n_rounds):
+            faults = fault_plan[k] if fault_plan is not None else None
+            report.rounds.append(self.run_round(faults))
+        return report
+
+    def run_round(self, faults: "RoundFaults | None" = None) -> RoundResult:
+        """Run one supervised round (optionally with injected faults)."""
+        index = self._round_index
+        self._round_index += 1
+
+        admitted = self.quarantine.begin_round()
+        probes = [
+            n
+            for n in admitted
+            if self.quarantine.state_of(n) is CircuitState.HALF_OPEN
+        ]
+        quarantined = self.quarantine.quarantined()
+        machine_faults = dict(getattr(faults, "machine_faults", {}) or {})
+        machine_faults = {
+            n: f for n, f in machine_faults.items() if n in admitted
+        }
+        drop = float(getattr(faults, "drop_probability", 0.0) or 0.0)
+        coordinator_crash = getattr(faults, "coordinator_crash", None)
+        crash_after_payments = int(getattr(faults, "crash_after_payments", 1))
+
+        def void_result(
+            excluded: list[str],
+            *,
+            payment_notices: dict[str, int] | None = None,
+            bid_retries: int = 0,
+            restarts: int = 0,
+        ) -> RoundResult:
+            return RoundResult(
+                index=index,
+                participants=list(admitted),
+                probes=probes,
+                quarantined=quarantined,
+                excluded=excluded,
+                withheld=[],
+                alerts=[],
+                faulted=sorted(machine_faults),
+                fault_kinds={n: f.kind for n, f in machine_faults.items()},
+                voided=True,
+                outcome=None,
+                loads={},
+                payments={},
+                utilities={},
+                payment_notices=payment_notices or {},
+                bid_retries=bid_retries,
+                report_retries=0,
+                coordinator_restarts=restarts,
+                arrival_rate=self.arrival_rate,
+                jobs_routed=0,
+            )
+
+        if len(admitted) < 2:
+            # Too few live machines to price a round; degrade by skipping.
+            return void_result(excluded=list(admitted))
+
+        # ---------------------------------------------------------- wiring
+        sim = Simulator()
+        if drop > 0.0:
+            network = ReliableNetwork(sim, drop, self._rng)
+        else:
+            network = SimulatedNetwork(sim)
+
+        sampler = (
+            (lambda mean, _rng: mean) if self.deterministic_service else None
+        )
+        nodes: dict[str, _SupervisedNode] = {}
+        for name in admitted:
+            agent = self.agents[name]
+            execution_value = agent.execution_value()
+            fault = machine_faults.get(name)
+            if fault is not None and fault.kind == "slow_execution":
+                execution_value *= fault.slowdown
+            machine = LinearLatencyMachine(
+                name, execution_value, self._rng, service_sampler=sampler
+            )
+            node = _SupervisedNode(
+                MachineNode(name=name, agent=agent, machine=machine, network=network),
+                fault=fault,
+            )
+            network.register(name, node.handle)
+            nodes[name] = node
+
+        jobs_routed = 0
+        current: dict[str, SupervisedCoordinator] = {}
+
+        def on_allocated(loads: np.ndarray) -> None:
+            nonlocal jobs_routed
+            names = current["coordinator"].machine_names
+            for name, load in zip(names, loads):
+                nodes[name].machine.configure(float(load))
+            workload = PoissonWorkload(self.arrival_rate, self._rng)
+            jobs = workload.generate(self.duration)
+            jobs_routed = len(jobs)
+            buckets = split_workload(jobs, loads / loads.sum(), self._rng)
+            start = sim.now
+            for name, bucket in zip(names, buckets):
+                node = nodes[name]
+                for job in bucket:
+                    sim.schedule_at(
+                        start + job.arrival_time,
+                        lambda s, n=node, j=job: n.machine.submit(s, j),
+                    )
+
+        store = CheckpointStore()
+        coordinator = SupervisedCoordinator(
+            mechanism=self.mechanism,
+            machine_names=list(admitted),
+            arrival_rate=self.arrival_rate,
+            network=network,
+            on_allocated=on_allocated,
+            allocator=self._allocator.allocate,
+            checkpoint_store=store,
+        )
+        if coordinator_crash == "mid_payment":
+            coordinator.fail_after_payments = crash_after_payments
+        current["coordinator"] = coordinator
+        network.register(
+            COORDINATOR_NAME,
+            lambda message, s: current["coordinator"].handle(message, s),
+        )
+        restarts = 0
+
+        def restart_coordinator() -> None:
+            nonlocal restarts
+            checkpoint = store.load()
+            assert checkpoint is not None, "no checkpoint to restore from"
+            restored = SupervisedCoordinator.restore(
+                checkpoint,
+                mechanism=self.mechanism,
+                network=network,
+                on_allocated=on_allocated,
+                checkpoint_store=store,
+                allocator=self._allocator.allocate,
+            )
+            current["coordinator"] = restored
+            restarts += 1
+            restored.resume()
+
+        # --------------------------------------------------------- bidding
+        coordinator.start()
+        sim.run()
+        if coordinator_crash == "during_bidding":
+            # The process dies while bids are still arriving; the
+            # replacement finds no announced allocation and voids.
+            restart_coordinator()
+        bid_retries = 0
+        attempt = 0
+        while (
+            current["coordinator"].phase is ProtocolPhase.BIDDING
+            and attempt < self.max_bid_attempts
+        ):
+            missing = current["coordinator"].pending_bidders
+            delay = self.backoff.delay(attempt, self._rng)
+            for name in missing:
+                sim.schedule(
+                    delay,
+                    lambda s, n=name: network.send(
+                        BidRequest(sender=COORDINATOR_NAME, receiver=n)
+                    ),
+                )
+            bid_retries += len(missing)
+            attempt += 1
+            sim.run()
+        current["coordinator"].close_bidding(void_if_empty=True)
+
+        if current["coordinator"].phase is ProtocolPhase.VOIDED:
+            if coordinator_crash != "during_bidding":
+                # Machines that never bid caused the void; hold them
+                # accountable (a coordinator-crash void blames nobody).
+                for name in current["coordinator"].pending_bidders:
+                    self.quarantine.record_failure(name, "missed_bid")
+            return void_result(
+                excluded=list(current["coordinator"].excluded),
+                payment_notices={n: nodes[n].payment_notices for n in nodes},
+                bid_retries=bid_retries,
+                restarts=restarts,
+            )
+
+        # ------------------------------------------------------- execution
+        sim.run()  # drain every routed job to completion
+        if coordinator_crash == "after_allocation":
+            restart_coordinator()  # resumes in EXECUTING from the checkpoint
+
+        # ------------------------------------------------------- reporting
+        report_retries = 0
+        try:
+            for name in list(current["coordinator"].machine_names):
+                nodes[name].report_completion()
+            sim.run()
+            attempt = 0
+            while (
+                current["coordinator"].phase is ProtocolPhase.EXECUTING
+                and attempt < self.max_report_attempts
+            ):
+                missing = current["coordinator"].pending_reporters
+                delay = self.backoff.delay(attempt, self._rng)
+                for name in missing:
+                    sim.schedule(
+                        delay, lambda s, n=name: nodes[n].report_completion()
+                    )
+                report_retries += len(missing)
+                attempt += 1
+                sim.run()
+            current["coordinator"].close_reporting()
+        except CoordinatorCrash:
+            restart_coordinator()  # re-derives the outcome, pays the rest
+        sim.run()  # deliver the remaining payment notices
+
+        coordinator = current["coordinator"]
+        assert coordinator.phase is ProtocolPhase.DONE
+        assert coordinator.outcome is not None
+        outcome = coordinator.outcome
+
+        names = coordinator.machine_names
+        loads = {n: float(x) for n, x in zip(names, outcome.loads)}
+        utilities = {
+            n: float(u) for n, u in zip(names, outcome.payments.utility)
+        }
+        payments = {n: amounts[0] for n, amounts in coordinator.payments_sent.items()}
+
+        # ------------------------------------------------- online detection
+        alerts: list[str] = []
+        withheld = set(coordinator.withheld)
+        declared = dict(zip(names, outcome.allocation.bids))
+        for name in names:
+            if name in withheld or loads[name] <= 0.0:
+                continue
+            sojourns = nodes[name].machine.sojourn_times
+            if not sojourns:
+                continue
+            detector = CusumSlowdownDetector(
+                float(declared[name]),
+                loads[name],
+                threshold=self.detector_threshold,
+                slack=self.detector_slack,
+            )
+            if detector.observe_many(np.asarray(sojourns)) is not None:
+                alerts.append(name)
+
+        # ------------------------------------------------------ quarantine
+        for name in admitted:
+            if name in coordinator.excluded:
+                self.quarantine.record_failure(name, "missed_bid")
+            elif name in withheld:
+                self.quarantine.record_failure(name, "missed_report")
+            elif name in alerts:
+                self.quarantine.record_failure(name, "slowdown_alert")
+            else:
+                self.quarantine.record_success(name)
+
+        return RoundResult(
+            index=index,
+            participants=list(admitted),
+            probes=probes,
+            quarantined=quarantined,
+            excluded=list(coordinator.excluded),
+            withheld=sorted(withheld),
+            alerts=alerts,
+            faulted=sorted(machine_faults),
+            fault_kinds={n: f.kind for n, f in machine_faults.items()},
+            voided=False,
+            outcome=outcome,
+            loads=loads,
+            payments=payments,
+            utilities=utilities,
+            payment_notices={n: nodes[n].payment_notices for n in nodes},
+            bid_retries=bid_retries,
+            report_retries=report_retries,
+            coordinator_restarts=restarts,
+            arrival_rate=self.arrival_rate,
+            jobs_routed=jobs_routed,
+        )

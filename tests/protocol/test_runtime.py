@@ -116,10 +116,56 @@ class TestLossyRuntime:
         assert result.network.total_messages == 5 * 16
 
 
+class TestRelativeErrorEdgeCases:
+    def _result(self, true_values, estimates, loads):
+        from types import SimpleNamespace
+
+        from repro.protocol.runtime import ProtocolResult
+
+        return ProtocolResult(
+            outcome=SimpleNamespace(loads=np.asarray(loads, dtype=float)),
+            true_execution_values=np.asarray(true_values, dtype=float),
+            estimated_execution_values=np.asarray(estimates, dtype=float),
+            network=None,
+            jobs_routed=0,
+            simulated_time=0.0,
+        )
+
+    def test_zero_load_entry_is_nan_not_a_warning(self):
+        import warnings
+
+        result = self._result([1.0, 2.0], [1.1, 8.0], [0.5, 0.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any divide warning fails here
+            error = result.estimation_relative_error
+        assert error[0] == pytest.approx(0.1)
+        assert np.isnan(error[1])
+
+    def test_zero_true_value_entry_is_nan(self):
+        result = self._result([0.0, 2.0], [1.0, 2.0], [0.5, 0.5])
+        error = result.estimation_relative_error
+        assert np.isnan(error[0])
+        assert error[1] == 0.0
+
+    def test_all_defined_entries_unchanged(self):
+        result = self._result([1.0, 2.0], [1.5, 1.0], [0.5, 0.5])
+        assert result.estimation_relative_error == pytest.approx([0.5, 0.5])
+
+
 class TestRuntimeValidation:
     def test_empty_agents_rejected(self, rng):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="non-empty"):
             run_protocol([], 5.0, rng=rng)
+
+    @pytest.mark.parametrize("drop", [-0.1, 1.0, 1.5])
+    def test_invalid_drop_probability_rejected(self, drop, rng):
+        with pytest.raises(ValueError, match="drop_probability"):
+            run_protocol(
+                [TruthfulAgent(1.0), TruthfulAgent(2.0)],
+                5.0,
+                rng=rng,
+                drop_probability=drop,
+            )
 
     def test_nonpositive_rate_rejected(self, rng):
         with pytest.raises(ValueError):

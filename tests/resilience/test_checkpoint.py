@@ -1,0 +1,236 @@
+"""Checkpoint round-trips and coordinator crash/restore semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import TruthfulAgent
+from repro.mechanism import VerificationMechanism
+from repro.protocol import ProtocolPhase, SimulatedNetwork
+from repro.protocol.coordinator import COORDINATOR_NAME, MachineNode
+from repro.resilience import (
+    CheckpointStore,
+    CoordinatorCheckpoint,
+    SupervisedCoordinator,
+)
+from repro.system import LinearLatencyMachine, Simulator
+
+TRUE_VALUES = [1.0, 2.0, 5.0, 10.0]
+
+
+def _build(store: CheckpointStore | None = None, **coordinator_kwargs):
+    """A wired 4-machine protocol instance around a SupervisedCoordinator."""
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    network = SimulatedNetwork(sim)
+    names = [f"C{i+1}" for i in range(len(TRUE_VALUES))]
+    nodes = []
+    for name, t in zip(names, TRUE_VALUES):
+        node = MachineNode(
+            name=name,
+            agent=TruthfulAgent(t),
+            machine=LinearLatencyMachine(name, t, rng),
+            network=network,
+        )
+        network.register(name, node.handle)
+        nodes.append(node)
+    coordinator = SupervisedCoordinator(
+        mechanism=VerificationMechanism(),
+        machine_names=names,
+        arrival_rate=6.0,
+        network=network,
+        checkpoint_store=store,
+        **coordinator_kwargs,
+    )
+    network.register(COORDINATOR_NAME, coordinator.handle)
+    return sim, network, coordinator, nodes
+
+
+class TestSerialisation:
+    def test_json_round_trip_preserves_everything(self):
+        checkpoint = CoordinatorCheckpoint(
+            phase="verifying",
+            machine_names=["C1", "C2"],
+            arrival_rate=6.0,
+            bids={"C1": 1.0, "C2": 2.0},
+            loads=[4.0, 2.0],
+            reports={"C1": (17, 4.25)},
+            excluded=["C3"],
+            withheld=["C2"],
+            payments_sent={"C1": (16.0, 16.0, 0.0)},
+        )
+        assert CoordinatorCheckpoint.from_json(checkpoint.to_json()) == checkpoint
+
+    def test_none_loads_survive(self):
+        checkpoint = CoordinatorCheckpoint(
+            phase="bidding", machine_names=["C1"], arrival_rate=1.0
+        )
+        restored = CoordinatorCheckpoint.from_json(checkpoint.to_json())
+        assert restored.loads is None
+
+    def test_store_serialises_on_save(self):
+        store = CheckpointStore()
+        assert store.load() is None
+        checkpoint = CoordinatorCheckpoint(
+            phase="idle", machine_names=["C1"], arrival_rate=1.0
+        )
+        store.save(checkpoint)
+        assert store.saves == 1
+        loaded = store.load()
+        assert loaded == checkpoint
+        assert loaded is not checkpoint  # a reconstruction, not the object
+        store.clear()
+        assert store.load() is None
+
+
+class TestCheckpointProgression:
+    def test_checkpoints_written_at_each_transition(self):
+        store = CheckpointStore()
+        sim, network, coordinator, nodes = _build(store)
+        coordinator.start()
+        sim.run()
+        assert store.load().phase == "executing"
+        assert store.load().loads is not None
+        for node in nodes:
+            node.machine.sojourn_times.append(0.5)
+            node.report_completion()
+        sim.run()
+        assert store.load().phase == "done"
+        assert len(store.load().payments_sent) == len(nodes)
+
+    def test_bids_checkpointed_as_they_arrive(self):
+        store = CheckpointStore()
+        sim, network, coordinator, nodes = _build(store)
+        coordinator.start()
+        sim.run()
+        assert store.load().bids == {
+            f"C{i+1}": v for i, v in enumerate(TRUE_VALUES)
+        }
+
+
+class TestRestore:
+    def _run_to_verifying(self, store, fail_after: int):
+        """Crash the coordinator after ``fail_after`` payments were sent."""
+        from repro.resilience import CoordinatorCrash
+
+        sim, network, coordinator, nodes = _build(
+            store, fail_after_payments=fail_after
+        )
+        coordinator.start()
+        sim.run()
+        for node in nodes:
+            node.machine.sojourn_times.append(0.5)
+            node.report_completion()
+        with pytest.raises(CoordinatorCrash):
+            sim.run()
+        return sim, network, coordinator, nodes
+
+    def test_restored_coordinator_pays_only_the_rest(self):
+        store = CheckpointStore()
+        sim, network, dead, nodes = self._run_to_verifying(store, fail_after=2)
+        already_paid = dict(dead.payments_sent)
+        assert len(already_paid) == 2
+
+        restored = SupervisedCoordinator.restore(
+            store.load(),
+            mechanism=VerificationMechanism(),
+            network=network,
+            checkpoint_store=store,
+        )
+        assert restored.phase is ProtocolPhase.VERIFYING
+        restored.resume()
+        sim.run()
+        assert restored.phase is ProtocolPhase.DONE
+        # Everyone got exactly one notice; the pre-crash payments stand.
+        for node in nodes:
+            assert node.received_payment is not None
+        for name, amounts in already_paid.items():
+            assert restored.payments_sent[name] == amounts
+        assert len(restored.payments_sent) == len(nodes)
+
+    def test_restored_outcome_matches_uncrashed_run(self):
+        # Crashed-and-restored payments must equal a run with no crash.
+        store = CheckpointStore()
+        sim, network, dead, nodes = self._run_to_verifying(store, fail_after=1)
+        restored = SupervisedCoordinator.restore(
+            store.load(),
+            mechanism=VerificationMechanism(),
+            network=network,
+            checkpoint_store=store,
+        )
+        restored.resume()
+        sim.run()
+
+        sim2, network2, clean, nodes2 = _build(CheckpointStore())
+        clean.start()
+        sim2.run()
+        for node in nodes2:
+            node.machine.sojourn_times.append(0.5)
+            node.report_completion()
+        sim2.run()
+        for name in clean.machine_names:
+            assert restored.payments_sent[name] == pytest.approx(
+                clean.payments_sent[name]
+            )
+
+    def test_restore_in_bidding_voids_the_round(self):
+        store = CheckpointStore()
+        sim, network, coordinator, nodes = _build(store)
+        coordinator.start()
+        # Crash before the simulator delivers anything: the checkpoint
+        # still shows BIDDING with no loads announced.
+        coordinator._save_checkpoint()
+        restored = SupervisedCoordinator.restore(
+            store.load(),
+            mechanism=VerificationMechanism(),
+            network=network,
+            checkpoint_store=store,
+        )
+        restored.resume()
+        assert restored.phase is ProtocolPhase.VOIDED
+        assert restored.payments_sent == {}
+
+    def test_restore_in_executing_waits_for_reports(self):
+        store = CheckpointStore()
+        sim, network, coordinator, nodes = _build(store)
+        coordinator.start()
+        sim.run()
+        assert coordinator.phase is ProtocolPhase.EXECUTING
+        restored = SupervisedCoordinator.restore(
+            store.load(),
+            mechanism=VerificationMechanism(),
+            network=network,
+            checkpoint_store=store,
+        )
+        restored.resume()
+        assert restored.phase is ProtocolPhase.EXECUTING
+        network._handlers[COORDINATOR_NAME] = restored.handle
+        for node in nodes:
+            node.machine.sojourn_times.append(0.5)
+            node.report_completion()
+        sim.run()
+        assert restored.phase is ProtocolPhase.DONE
+
+    def test_restored_coordinator_has_no_chaos_hook(self):
+        store = CheckpointStore()
+        sim, network, dead, nodes = self._run_to_verifying(store, fail_after=1)
+        restored = SupervisedCoordinator.restore(
+            store.load(),
+            mechanism=VerificationMechanism(),
+            network=network,
+        )
+        assert restored.fail_after_payments is None
+
+
+class TestMinParticipants:
+    def test_round_with_one_responder_is_voided(self):
+        sim, network, coordinator, nodes = _build(min_participants=2)
+        # Only C1's bid will arrive; everyone else stays silent.
+        network._handlers["C2"] = lambda m, s: None
+        network._handlers["C3"] = lambda m, s: None
+        network._handlers["C4"] = lambda m, s: None
+        coordinator.start()
+        sim.run()
+        coordinator.close_bidding(void_if_empty=True)
+        assert coordinator.phase is ProtocolPhase.VOIDED

@@ -1,0 +1,79 @@
+"""BackoffPolicy: envelope growth, cap, jitter bounds, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import BackoffPolicy
+
+
+class TestEnvelope:
+    def test_grows_exponentially(self):
+        policy = BackoffPolicy(base=0.5, factor=2.0, cap=100.0)
+        assert policy.envelope(0) == 0.5
+        assert policy.envelope(1) == 1.0
+        assert policy.envelope(2) == 2.0
+        assert policy.envelope(5) == 16.0
+
+    def test_capped(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, cap=4.0)
+        assert policy.envelope(10) == 4.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().envelope(-1)
+
+
+class TestDelay:
+    def test_within_envelope_and_positive(self):
+        policy = BackoffPolicy(base=0.5, factor=2.0, cap=30.0)
+        rng = np.random.default_rng(0)
+        for attempt in range(8):
+            for _ in range(50):
+                d = policy.delay(attempt, rng)
+                assert 0.0 < d <= policy.envelope(attempt)
+
+    def test_zero_jitter_is_deterministic(self):
+        policy = BackoffPolicy(base=0.5, factor=3.0, jitter=0.0)
+        rng = np.random.default_rng(1)
+        assert policy.delay(2, rng) == policy.envelope(2) == 4.5
+
+    def test_jitter_actually_varies(self):
+        policy = BackoffPolicy()
+        rng = np.random.default_rng(2)
+        delays = {policy.delay(3, rng) for _ in range(10)}
+        assert len(delays) > 1
+
+    def test_schedule_length_and_monotone_envelope(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, cap=100.0, jitter=0.0)
+        rng = np.random.default_rng(3)
+        schedule = policy.schedule(5, rng)
+        assert schedule == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_total_wait_bounded_by_geometric_series(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, cap=1000.0)
+        rng = np.random.default_rng(4)
+        total = sum(policy.schedule(10, rng))
+        assert total <= sum(policy.envelope(k) for k in range(10))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": 0.0},
+            {"base": -1.0},
+            {"factor": 0.5},
+            {"cap": 0.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_repr_mentions_parameters(self):
+        text = repr(BackoffPolicy(base=0.25, factor=2.0, cap=10.0))
+        assert "0.25" in text and "10" in text

@@ -122,6 +122,24 @@ class TestLandscape:
         assert "machine C6" in out
 
 
+class TestResilience:
+    def test_chaos_campaign_runs_clean(self, capsys):
+        out = run_cli(
+            capsys, "resilience", "--rounds", "6", "--machines", "6",
+            "--seed", "1",
+        )
+        assert "Chaos campaign" in out
+        assert "invariant violations" in out
+        assert "INVARIANT VIOLATIONS" not in out  # none occurred
+
+    def test_keep_going_flag_accepted(self, capsys):
+        out = run_cli(
+            capsys, "resilience", "--rounds", "3", "--machines", "4",
+            "--seed", "2", "--keep-going",
+        )
+        assert "rounds driven" in out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.agents",
     "repro.system",
     "repro.protocol",
+    "repro.resilience",
     "repro.distributed",
     "repro.dynamic",
     "repro.experiments",
