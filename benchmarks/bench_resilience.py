@@ -1,4 +1,4 @@
-"""Ablation A10 — the resilience layer under seeded chaos.
+"""Ablation A18 — the resilience layer under seeded chaos.
 
 Prices the supervised multi-round loop: how much retrying, restoring,
 and quarantining the chaos schedule forces, and confirms the headline
@@ -99,7 +99,7 @@ def test_chaos_campaign(benchmark, record_result, record_json):
         render_table(
             ["quantity", "value"],
             rows,
-            title="A10. Supervised loop under 30 rounds of seeded chaos (n = 8).",
+            title="A18. Supervised loop under 30 rounds of seeded chaos (n = 8).",
         ),
     )
     record_json("ablation_resilience_chaos", summary)

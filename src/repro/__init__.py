@@ -27,6 +27,10 @@ Package layout
   queueing validation;
 * :mod:`repro.protocol` — the centralised O(n)-message protocol with an
   execution-rate estimator (the verification step, made concrete);
+* :mod:`repro.resilience` — the supervised multi-round loop: retries,
+  quarantine, coordinator recovery, chaos testing;
+* :mod:`repro.observability` — metrics, span tracing, and profiling
+  hooks across all of the above (off by default);
 * :mod:`repro.experiments` — the paper's Tables 1–2 and Figures 1–6;
 * :mod:`repro.analysis` — degradation, frugality, sensitivity, and
   equilibrium analyses.
@@ -86,7 +90,7 @@ from repro.experiments import (
     figure6_truthful_structure,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AllocationResult",

@@ -27,6 +27,7 @@ from repro._validation import (
     check_positive,
     check_positive_scalar,
 )
+from repro.observability.instrumentation import timed_section
 from repro.types import AllocationResult
 
 __all__ = [
@@ -73,7 +74,17 @@ def pr_loads(t: np.ndarray, arrival_rate: float) -> np.ndarray:
 
 
 def optimal_total_latency(t: np.ndarray, arrival_rate: float) -> float:
-    """Minimum total latency ``L* = R^2 / sum_j (1/t_j)`` (Theorem 2.1)."""
+    """Minimum total latency ``L* = R^2 / sum_j (1/t_j)`` (Theorem 2.1).
+
+    Examples
+    --------
+    On the paper's Table 1 system (16 machines, ``R = 20``) this is the
+    headline True1 optimum ``L* = 400 / 5.1 = 78.43``:
+
+    >>> from repro.experiments.table1 import TABLE1_TRUE_VALUES
+    >>> round(optimal_total_latency(TABLE1_TRUE_VALUES, 20.0), 2)
+    78.43
+    """
     t, arrival_rate = _validated(t, arrival_rate)
     return arrival_rate**2 / float(np.sum(1.0 / t))
 
@@ -83,11 +94,26 @@ def pr_allocation(t: np.ndarray, arrival_rate: float) -> AllocationResult:
 
     Returns an :class:`~repro.types.AllocationResult` whose
     ``total_latency`` is evaluated at the declared slopes ``t``.
+
+    Examples
+    --------
+    >>> result = pr_allocation([1.0, 3.0], 8.0)
+    >>> result.loads
+    array([6., 2.])
+    >>> result.total_latency
+    48.0
+
+    The Table 1 optimum again, through the packaged interface:
+
+    >>> from repro.experiments.table1 import TABLE1_TRUE_VALUES
+    >>> round(pr_allocation(TABLE1_TRUE_VALUES, 20.0).total_latency, 2)
+    78.43
     """
     t, arrival_rate = _validated(t, arrival_rate)
-    inv = 1.0 / t
-    total_inv = float(inv.sum())
-    loads = arrival_rate * inv / total_inv
+    with timed_section("allocation.pr.seconds"):
+        inv = 1.0 / t
+        total_inv = float(inv.sum())
+        loads = arrival_rate * inv / total_inv
     return AllocationResult(
         loads=loads,
         arrival_rate=arrival_rate,
@@ -110,6 +136,11 @@ def optimal_latency_excluding_each(t: np.ndarray, arrival_rate: float) -> np.nda
     ValueError
         If fewer than two machines are present (a leave-one-out system
         would be empty).
+
+    Examples
+    --------
+    >>> optimal_latency_excluding_each([1.0, 1.0], 10.0)
+    array([100., 100.])
     """
     t, arrival_rate = _validated(t, arrival_rate)
     if t.size < 2:
@@ -120,7 +151,13 @@ def optimal_latency_excluding_each(t: np.ndarray, arrival_rate: float) -> np.nda
 
 
 def optimal_latency_without(t: np.ndarray, index: int, arrival_rate: float) -> float:
-    """Optimal latency when the machine at ``index`` is excluded."""
+    """Optimal latency when the machine at ``index`` is excluded.
+
+    Examples
+    --------
+    >>> optimal_latency_without([1.0, 1.0], 0, 10.0)
+    100.0
+    """
     t, arrival_rate = _validated(t, arrival_rate)
     index = check_index(index, t.size, "index")
     if t.size < 2:

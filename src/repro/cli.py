@@ -10,6 +10,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro multi-liar --max-liars 8
     repro poa --intercepts 1,0 --slopes 0.000001,1 --rate 1
     repro resilience --rounds 50 --machines 8 --seed 0
+    repro metrics --rounds 10 --machines 8 --chaos --json
 """
 
 from __future__ import annotations
@@ -296,6 +297,104 @@ def _cmd_resilience(args: argparse.Namespace) -> str:
     return table
 
 
+def _fmt_seconds(value: float | None) -> str:
+    """Render a seconds value for the span table (µs precision)."""
+    return "-" if value is None else f"{value * 1e6:,.0f}µs"
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.agents import TruthfulAgent
+    from repro.experiments import render_table, table1_configuration
+    from repro.observability import instrumented
+    from repro.observability.metrics import format_series
+    from repro.resilience import ChaosHarness, FaultPlan, RoundSupervisor
+
+    config = table1_configuration()
+    true_values = config.cluster.true_values[: args.machines]
+    supervisor = RoundSupervisor(
+        [TruthfulAgent(t) for t in true_values],
+        config.arrival_rate,
+        duration=args.duration,
+        rng=np.random.default_rng(args.seed),
+    )
+    with instrumented() as instr:
+        if args.chaos:
+            plan = FaultPlan.generate(
+                args.rounds, supervisor.machine_names, seed=args.seed
+            )
+            ChaosHarness(supervisor, plan, stop_on_violation=False).run()
+        else:
+            supervisor.run(args.rounds)
+
+    exported = None
+    if args.trace is not None:
+        exported = instr.tracer.export_jsonl(args.trace)
+
+    if args.json:
+        return json.dumps(instr.snapshot(), indent=2, sort_keys=True)
+
+    spans = instr.tracer.summary()
+    span_rows = [
+        [
+            name,
+            stats["count"],
+            _fmt_seconds(stats["p50"]),
+            _fmt_seconds(stats["p95"]),
+            _fmt_seconds(stats["p99"]),
+            _fmt_seconds(stats["max"]),
+        ]
+        for name, stats in spans.items()
+    ]
+    snapshot = instr.metrics.snapshot()
+    counter_rows = [
+        [format_series(c["name"], tuple(sorted(c["labels"].items()))), f"{c['value']:g}"]
+        for c in snapshot["counters"]
+    ]
+    gauge_rows = [
+        [format_series(g["name"], tuple(sorted(g["labels"].items()))), f"{g['value']:g}"]
+        for g in snapshot["gauges"]
+    ]
+    histogram_rows = [
+        [
+            format_series(h["name"], tuple(sorted(h["labels"].items()))),
+            h["count"],
+            _fmt_seconds(h["p50"]) if h["name"].endswith(".seconds") else f"{h['p50']:g}",
+            _fmt_seconds(h["p95"]) if h["name"].endswith(".seconds") else f"{h['p95']:g}",
+            _fmt_seconds(h["max"]) if h["name"].endswith(".seconds") else f"{h['max']:g}",
+        ]
+        for h in snapshot["histograms"]
+        if h["count"]
+    ]
+
+    workload = "chaos campaign" if args.chaos else "supervised rounds"
+    parts = [
+        render_table(
+            ["span", "count", "p50", "p95", "p99", "max"],
+            span_rows,
+            title=f"Span timings: {args.rounds} {workload}, "
+            f"{len(true_values)} machines, seed {args.seed}.",
+        ),
+        render_table(["counter", "value"], counter_rows, title="Counters."),
+    ]
+    if gauge_rows:
+        parts.append(render_table(["gauge", "value"], gauge_rows, title="Gauges."))
+    if histogram_rows:
+        parts.append(
+            render_table(
+                ["histogram", "count", "p50", "p95", "max"],
+                histogram_rows,
+                title="Histograms.",
+            )
+        )
+    if exported is not None:
+        parts.append(f"Exported {exported} spans to {args.trace}.")
+    if instr.tracer.dropped:
+        parts.append(f"WARNING: {instr.tracer.dropped} spans dropped (max_spans).")
+    return "\n\n".join(parts)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> str:
     from repro.experiments import reproduce_all
 
@@ -415,6 +514,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect invariant violations instead of stopping at the first",
     )
     resilience.set_defaults(func=_cmd_resilience)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a supervised workload and report metrics + span timings"
+    )
+    metrics.add_argument("--rounds", type=int, default=10)
+    metrics.add_argument("--machines", type=int, default=8)
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument(
+        "--duration", type=float, default=40.0,
+        help="job-generation window per round (simulated seconds)",
+    )
+    metrics.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seeded fault plan (faults appear as span annotations)",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="emit the full snapshot (counters/gauges/histograms/spans) as JSON",
+    )
+    metrics.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also export every finished span as JSON Lines to FILE",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     verify = sub.add_parser("verify", help="check every recoverable paper claim")
     verify.set_defaults(func=_cmd_verify)

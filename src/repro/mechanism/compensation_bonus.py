@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.allocation.pr import optimal_latency_excluding_each, pr_allocation
 from repro.mechanism.base import Mechanism
+from repro.observability.instrumentation import timed_section
 from repro.types import AllocationResult, PaymentResult
 
 __all__ = ["VerificationMechanism"]
@@ -61,6 +62,26 @@ class VerificationMechanism(Mechanism):
     array([2., 1.])
     >>> out.realised_latency
     6.0
+
+    On the paper's Table 1 system a truthful profile realises the
+    headline optimum ``L = 78.43`` and every utility is non-negative
+    (Theorem 3.2, voluntary participation):
+
+    >>> from repro.experiments.table1 import TABLE1_TRUE_VALUES
+    >>> out = mech.run(TABLE1_TRUE_VALUES, arrival_rate=20.0)
+    >>> round(out.realised_latency, 2)
+    78.43
+    >>> bool((out.payments.utility >= 0.0).all())
+    True
+
+    Truthfulness (Theorem 3.1): a unilateral overbid can only lower an
+    agent's utility:
+
+    >>> truthful = mech.utility_of(0, 1.0, 1.0, [2.0], 3.0)
+    >>> truthful
+    12.0
+    >>> truthful > mech.utility_of(0, 1.5, 1.0, [2.0], 3.0)
+    True
     """
 
     uses_verification = True
@@ -83,20 +104,33 @@ class VerificationMechanism(Mechanism):
         allocation: AllocationResult,
         execution_values: np.ndarray,
     ) -> PaymentResult:
-        """Compensation-and-bonus payments (Definition 3.3(ii))."""
-        loads_sq = allocation.loads**2
-        realised_latency = float(np.dot(execution_values, loads_sq))
-        excluded = optimal_latency_excluding_each(
-            allocation.bids, allocation.arrival_rate
-        )
+        """Compensation-and-bonus payments (Definition 3.3(ii)).
 
-        if self.compensation_mode == "observed":
-            compensation = execution_values * loads_sq
-        else:
-            compensation = allocation.bids * loads_sq
+        Examples
+        --------
+        >>> import numpy as np
+        >>> mech = VerificationMechanism()
+        >>> alloc = mech.allocate(np.array([1.0, 2.0]), 3.0)
+        >>> pay = mech.payments(alloc, np.array([1.0, 2.0]))
+        >>> pay.compensation          # realised cost t̃_i x_i², repaid exactly
+        array([4., 2.])
+        >>> pay.bonus                 # L_{-i}* − L(x, t̃) = [18, 9] − 6
+        array([12.,  3.])
+        """
+        with timed_section("mechanism.payments.seconds"):
+            loads_sq = allocation.loads**2
+            realised_latency = float(np.dot(execution_values, loads_sq))
+            excluded = optimal_latency_excluding_each(
+                allocation.bids, allocation.arrival_rate
+            )
 
-        bonus = excluded - realised_latency
-        valuation = -execution_values * loads_sq
+            if self.compensation_mode == "observed":
+                compensation = execution_values * loads_sq
+            else:
+                compensation = allocation.bids * loads_sq
+
+            bonus = excluded - realised_latency
+            valuation = -execution_values * loads_sq
         return PaymentResult(
             compensation=compensation, bonus=bonus, valuation=valuation
         )

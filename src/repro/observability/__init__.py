@@ -1,0 +1,87 @@
+"""Observability layer: metrics, tracing, and profiling for every run.
+
+Until now the only telemetry in the system was the CUSUM slowdown
+detector; there was no way to see where a supervised round spends its
+time, how often retries and quarantines fire, or how allocation latency
+scales with ``n``.  This subpackage is the measurement substrate the
+ROADMAP's production-scale goal needs, in three zero-dependency pieces:
+
+* :mod:`repro.observability.metrics` — a registry of counters, gauges,
+  and histograms with **bounded reservoirs** (memory stays O(reservoir)
+  over arbitrarily long campaigns, quantiles stay available);
+* :mod:`repro.observability.tracing` — nested spans with timestamped
+  annotations and a JSONL export (schema in DESIGN.md §8);
+* :mod:`repro.observability.profiling` — :func:`time.perf_counter`
+  timers as context managers (:class:`Stopwatch`,
+  :func:`timed_section`) and decorators (:func:`profiled`).
+
+The layer is **off by default** and costs a global read + ``None``
+check per hook when off; ``benchmarks/bench_observability.py`` holds
+the enabled overhead under 5% on the protocol bench.  Enable it around
+any workload:
+
+>>> import numpy as np
+>>> from repro import TruthfulAgent, run_protocol
+>>> from repro.observability import instrumented
+>>> with instrumented() as instr:
+...     result = run_protocol(
+...         [TruthfulAgent(1.0), TruthfulAgent(2.0)], 3.0,
+...         duration=5.0, rng=np.random.default_rng(0),
+...     )
+>>> sorted(instr.tracer.summary())
+['protocol.round']
+>>> instr.metrics.counter(
+...     "protocol.phase_transitions", src="idle", dst="bidding").value
+1.0
+
+The instrumented hot paths are the coordinator's phase transitions,
+the supervised round loop (retries, quarantine opens/closes,
+checkpoint writes/restores), PR allocation, the compensation-bonus
+payment computation, and the chaos harness (fault injections become
+span annotations).  ``repro metrics`` runs a supervised workload and
+renders the whole picture from a shell.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import SpanRecord, Tracer
+from repro.observability.instrumentation import (
+    Instrumentation,
+    active,
+    annotate,
+    disable,
+    enable,
+    instrumented,
+    observe_value,
+    record_counter,
+    record_gauge,
+    timed_section,
+    trace_span,
+)
+from repro.observability.profiling import Stopwatch, profiled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "Instrumentation",
+    "active",
+    "annotate",
+    "disable",
+    "enable",
+    "instrumented",
+    "observe_value",
+    "record_counter",
+    "record_gauge",
+    "timed_section",
+    "trace_span",
+    "Stopwatch",
+    "profiled",
+]

@@ -1,0 +1,225 @@
+"""The switchboard: one bundle of registry + tracer, globally toggleable.
+
+Instrumented code (the coordinator, the supervisor, the allocators)
+never holds a reference to a registry; it calls the module-level
+helpers here — :func:`record_counter`, :func:`trace_span`,
+:func:`timed_section`, :func:`annotate` — which are **no-ops costing a
+global read and a ``None`` check** while instrumentation is disabled
+(the default).  That is what keeps the overhead budget (< 5% on the
+protocol bench, measured by ``benchmarks/bench_observability.py``)
+honest: production code paths are identical with the layer off.
+
+Enabling installs an :class:`Instrumentation` (a
+:class:`~repro.observability.metrics.MetricsRegistry` plus a
+:class:`~repro.observability.tracing.Tracer` sharing one clock) as the
+process-wide active sink:
+
+>>> from repro.observability import instrumented, record_counter, timed_section
+>>> with instrumented() as instr:
+...     record_counter("demo.events", kind="example")
+...     with timed_section("demo.section.seconds"):
+...         pass
+>>> instr.metrics.counter("demo.events", kind="example").value
+1.0
+>>> record_counter("demo.events")   # outside the block: dropped
+>>> len(instr.metrics)
+2
+
+The global is deliberately a single slot, not a stack of collectors:
+one run, one instrumentation, matching the one-process DES substrate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "Instrumentation",
+    "enable",
+    "disable",
+    "active",
+    "instrumented",
+    "record_counter",
+    "record_gauge",
+    "observe_value",
+    "trace_span",
+    "annotate",
+    "timed_section",
+]
+
+
+class Instrumentation:
+    """A metrics registry and a tracer sharing one clock.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source used by both the tracer and
+        :func:`timed_section`; injectable for deterministic tests.
+    reservoir_size:
+        Default histogram reservoir size for the registry.
+    max_spans:
+        Retention bound for finished spans (see :class:`Tracer`).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        reservoir_size: int = 1024,
+        max_spans: int = 100_000,
+    ) -> None:
+        self.clock = clock
+        self.metrics = MetricsRegistry(default_reservoir_size=reservoir_size)
+        self.tracer = Tracer(clock=clock, max_spans=max_spans)
+
+    # Thin delegates so call sites need only the bundle.
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get-or-create a counter series."""
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get-or-create a gauge series."""
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Get-or-create a histogram series."""
+        return self.metrics.histogram(name, **labels)
+
+    def span(self, name: str, **attributes: object):
+        """Open a tracer span (context manager)."""
+        return self.tracer.span(name, **attributes)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every metric plus the span summary."""
+        payload = self.metrics.snapshot()
+        payload["spans"] = self.tracer.summary()
+        payload["spans_dropped"] = self.tracer.dropped
+        return payload
+
+
+_active: Instrumentation | None = None
+
+
+def enable(instrumentation: Instrumentation | None = None) -> Instrumentation:
+    """Install (and return) the process-wide active instrumentation."""
+    global _active
+    _active = instrumentation if instrumentation is not None else Instrumentation()
+    return _active
+
+
+def disable() -> Instrumentation | None:
+    """Remove the active instrumentation; returns what was installed."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+def active() -> Instrumentation | None:
+    """The currently installed instrumentation, or ``None``."""
+    return _active
+
+
+@contextmanager
+def instrumented(
+    instrumentation: Instrumentation | None = None,
+) -> Iterator[Instrumentation]:
+    """Scoped enable: install for the ``with`` block, then restore."""
+    global _active
+    previous = _active
+    installed = enable(instrumentation)
+    try:
+        yield installed
+    finally:
+        _active = previous
+
+
+# --------------------------------------------------------------- helpers
+#
+# The functions below are the only observability surface the hot paths
+# touch.  Each one degrades to (global read + None check) when disabled.
+
+
+def record_counter(name: str, amount: float = 1.0, **labels: object) -> None:
+    """Increment a counter iff instrumentation is enabled."""
+    obs = _active
+    if obs is not None:
+        obs.metrics.counter(name, **labels).inc(amount)
+
+
+def record_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge iff instrumentation is enabled."""
+    obs = _active
+    if obs is not None:
+        obs.metrics.gauge(name, **labels).set(value)
+
+
+def observe_value(name: str, value: float, **labels: object) -> None:
+    """Record a histogram observation iff instrumentation is enabled."""
+    obs = _active
+    if obs is not None:
+        obs.metrics.histogram(name, **labels).observe(value)
+
+
+def annotate(message: str, **attrs: object) -> None:
+    """Attach an event to the current open span, if tracing is live."""
+    obs = _active
+    if obs is not None:
+        obs.tracer.annotate(message, **attrs)
+
+
+class _NullContext:
+    """Reusable do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL = _NullContext()
+
+
+def trace_span(name: str, **attributes: object):
+    """A tracer span when enabled, a shared no-op context otherwise."""
+    obs = _active
+    if obs is None:
+        return _NULL
+    return obs.tracer.span(name, **attributes)
+
+
+class _TimedSection:
+    """Context manager timing a block into a histogram (seconds)."""
+
+    __slots__ = ("_obs", "_name", "_labels", "_start")
+
+    def __init__(self, obs: Instrumentation, name: str, labels: dict) -> None:
+        self._obs = obs
+        self._name = name
+        self._labels = labels
+
+    def __enter__(self) -> None:
+        self._start = self._obs.clock()
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = self._obs.clock() - self._start
+        self._obs.metrics.histogram(self._name, **self._labels).observe(elapsed)
+
+
+def timed_section(name: str, **labels: object):
+    """Time a block into histogram ``name`` (seconds) when enabled."""
+    obs = _active
+    if obs is None:
+        return _NULL
+    return _TimedSection(obs, name, labels)

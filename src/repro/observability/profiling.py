@@ -1,0 +1,109 @@
+"""Lightweight profiling hooks: timers as context managers and decorators.
+
+Everything here is a thin shell over :func:`time.perf_counter` feeding
+the metrics registry, so "profiling" and "metrics" are one substrate:
+a profiled function is just a histogram named after it, and the CLI's
+span/percentile tables render profiler output with no extra machinery.
+
+* :class:`Stopwatch` — measure a block, read ``.elapsed`` afterwards;
+* :func:`profiled` — decorator recording each call's duration into the
+  *active* instrumentation (resolved per call, so importing a decorated
+  module never forces instrumentation on, and the disabled cost is one
+  global read per call).
+
+Examples
+--------
+>>> from repro.observability import Instrumentation, instrumented, profiled
+>>> @profiled("demo.work.seconds")
+... def work(x):
+...     return x * 2
+>>> work(3)                     # disabled: nothing recorded
+6
+>>> with instrumented() as instr:
+...     _ = work(5)
+>>> instr.metrics.histogram("demo.work.seconds").count
+1
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, TypeVar
+
+from repro.observability import instrumentation as _instr
+
+__all__ = ["Stopwatch", "profiled"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class Stopwatch:
+    """Measure a block's wall time; optionally record it as a histogram.
+
+    Parameters
+    ----------
+    name:
+        Histogram name to record into the active instrumentation on
+        exit; ``None`` measures without recording.
+    clock:
+        Time source (default :func:`time.perf_counter`).
+
+    Examples
+    --------
+    >>> ticks = iter([10.0, 12.5])
+    >>> with Stopwatch(clock=lambda: next(ticks)) as watch:
+    ...     pass
+    >>> watch.elapsed
+    2.5
+    """
+
+    __slots__ = ("name", "clock", "labels", "started", "elapsed")
+
+    def __init__(
+        self,
+        name: str | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        **labels: object,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.labels = labels
+        self.started: float | None = None
+        self.elapsed: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.started = self.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self.started is not None
+        self.elapsed = self.clock() - self.started
+        if self.name is not None:
+            _instr.observe_value(self.name, self.elapsed, **self.labels)
+
+
+def profiled(name: str, **labels: object) -> Callable[[F], F]:
+    """Decorator: record each call's duration into histogram ``name``.
+
+    The active instrumentation is looked up at *call* time, so the
+    decorator can be applied unconditionally at import time; calls made
+    while instrumentation is disabled cost one global read.
+    """
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            obs = _instr.active()
+            if obs is None:
+                return func(*args, **kwargs)
+            start = obs.clock()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                obs.metrics.histogram(name, **labels).observe(obs.clock() - start)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

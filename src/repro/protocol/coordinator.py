@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.agents.base import Agent
 from repro.mechanism.base import Mechanism
+from repro.observability.instrumentation import annotate, record_counter
 from repro.protocol.messages import (
     AllocationNotice,
     BidReply,
@@ -136,11 +137,28 @@ class MechanismCoordinator:
     _reports: dict[str, CompletionReport] = field(default_factory=dict)
     _loads: np.ndarray | None = None
 
+    def _set_phase(self, phase: ProtocolPhase) -> None:
+        """Advance the state machine, recording the transition.
+
+        All phase *transitions* funnel through here so the
+        observability layer sees every one (a counter per (src, dst)
+        edge plus a span annotation); restoring a checkpointed phase
+        wholesale bypasses it deliberately — that is state recovery,
+        not a transition.
+        """
+        previous = self.phase
+        self.phase = phase
+        if previous is not phase:
+            record_counter(
+                "protocol.phase_transitions", src=previous.value, dst=phase.value
+            )
+            annotate("protocol.phase", src=previous.value, dst=phase.value)
+
     def start(self) -> None:
         """Begin a round: request a bid from every machine."""
         if self.phase is not ProtocolPhase.IDLE:
             raise RuntimeError(f"cannot start from phase {self.phase}")
-        self.phase = ProtocolPhase.BIDDING
+        self._set_phase(ProtocolPhase.BIDDING)
         for name in self.machine_names:
             self.network.send(BidRequest(sender=COORDINATOR_NAME, receiver=name))
 
@@ -167,7 +185,7 @@ class MechanismCoordinator:
         bids = self.bids_vector()
         allocation = self.mechanism.allocate(bids, self.arrival_rate)
         self._loads = allocation.loads
-        self.phase = ProtocolPhase.EXECUTING
+        self._set_phase(ProtocolPhase.EXECUTING)
         for name, load in zip(self.machine_names, allocation.loads):
             self.network.send(
                 AllocationNotice(
@@ -186,7 +204,7 @@ class MechanismCoordinator:
         if len(self._reports) < len(self.machine_names):
             return
 
-        self.phase = ProtocolPhase.VERIFYING
+        self._set_phase(ProtocolPhase.VERIFYING)
         self._verify_and_pay()
 
     def _verify_and_pay(self) -> None:
@@ -217,7 +235,7 @@ class MechanismCoordinator:
                     bonus=float(payments.bonus[k]),
                 )
             )
-        self.phase = ProtocolPhase.DONE
+        self._set_phase(ProtocolPhase.DONE)
 
     # ------------------------------------------------------------ helpers
 

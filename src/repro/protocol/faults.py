@@ -251,7 +251,7 @@ class FaultTolerantCoordinator(MechanismCoordinator):
                 "has already been announced"
             )
         self.excluded = list(self.machine_names)
-        self.phase = ProtocolPhase.VOIDED
+        self._set_phase(ProtocolPhase.VOIDED)
 
     def _allocate_to_responders(self) -> None:
         responders = [n for n in self.machine_names if n in self._bids]
@@ -261,7 +261,7 @@ class FaultTolerantCoordinator(MechanismCoordinator):
         bids = self.bids_vector()
         allocation = self.mechanism.allocate(bids, self.arrival_rate)
         self._loads = allocation.loads
-        self.phase = ProtocolPhase.EXECUTING
+        self._set_phase(ProtocolPhase.EXECUTING)
         for name, load in zip(self.machine_names, allocation.loads):
             self.network.send(
                 AllocationNotice(
@@ -290,7 +290,7 @@ class FaultTolerantCoordinator(MechanismCoordinator):
         self._finish_with_missing(missing)
 
     def _finish_with_missing(self, missing: set[str]) -> None:
-        self.phase = ProtocolPhase.VERIFYING
+        self._set_phase(ProtocolPhase.VERIFYING)
         bids = self.bids_vector()
         assert self._loads is not None
 
@@ -324,4 +324,4 @@ class FaultTolerantCoordinator(MechanismCoordinator):
                     bonus=float(payments.bonus[k]),
                 )
             self.network.send(notice)
-        self.phase = ProtocolPhase.DONE
+        self._set_phase(ProtocolPhase.DONE)

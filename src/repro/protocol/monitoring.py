@@ -98,12 +98,31 @@ class CusumSlowdownDetector:
         return None
 
     def observe_many(self, sojourns: np.ndarray) -> SlowdownAlert | None:
-        """Feed a batch of completions in order; returns the first alert."""
+        """Feed a batch of completions in order; return the latched alert.
+
+        Contract (pinned by ``tests/protocol/test_monitoring.py``):
+
+        * The detector is **one-shot**: the first threshold crossing
+          latches ``self.alert`` permanently.  The batch is consumed
+          only up to that first crossing — the remaining observations
+          are *not* fed, so ``jobs_observed`` and ``statistic`` freeze
+          at the firing point.  A batch whose statistic would cross the
+          threshold several times still yields exactly one alert, the
+          first.
+        * Calling again on an already-alerted detector returns the
+          *same* latched :class:`SlowdownAlert` without consuming any
+          further observations (``observe`` keeps accumulating if
+          called directly, but never fires twice).
+        * If no crossing happens in (or before) this batch, returns
+          ``None``.
+        """
+        if self.alert is not None:
+            return self.alert
         for sojourn in np.asarray(sojourns, dtype=np.float64):
             alert = self.observe(float(sojourn))
             if alert is not None:
                 return alert
-        return self.alert
+        return None
 
     @property
     def flagged(self) -> bool:

@@ -22,6 +22,7 @@ from repro.agents.base import Agent
 from repro.agents.behaviors import profile_execution_values
 from repro.mechanism.base import Mechanism
 from repro.mechanism.compensation_bonus import VerificationMechanism
+from repro.observability.instrumentation import observe_value, trace_span
 from repro.protocol.coordinator import (
     COORDINATOR_NAME,
     MachineNode,
@@ -126,6 +127,31 @@ def run_protocol(
     if rng is None:
         rng = np.random.default_rng(0)
 
+    with trace_span("protocol.round", machines=len(agents)):
+        result = _run_round(
+            agents,
+            arrival_rate,
+            duration=duration,
+            mechanism=mechanism,
+            rng=rng,
+            deterministic_service=deterministic_service,
+            drop_probability=drop_probability,
+        )
+    observe_value("protocol.jobs_routed", result.jobs_routed)
+    return result
+
+
+def _run_round(
+    agents: Sequence[Agent],
+    arrival_rate: float,
+    *,
+    duration: float,
+    mechanism: Mechanism,
+    rng: np.random.Generator,
+    deterministic_service: bool,
+    drop_probability: float,
+) -> ProtocolResult:
+    """The round body :func:`run_protocol` wraps with instrumentation."""
     sim = Simulator()
     if drop_probability > 0.0:
         from repro.protocol.faults import ReliableNetwork

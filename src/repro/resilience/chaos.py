@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observability.instrumentation import annotate, record_counter, trace_span
 from repro.resilience.invariants import (
     InvariantError,
     InvariantViolation,
@@ -277,16 +278,42 @@ class ChaosHarness:
         self.stop_on_violation = bool(stop_on_violation)
 
     def run(self) -> ChaosReport:
-        """Drive every planned round; return the full chaos report."""
+        """Drive every planned round; return the full chaos report.
+
+        Each round runs inside a ``chaos.round`` span whose annotations
+        record exactly what was injected (``fault.injected`` per
+        machine, ``fault.lossy_links``, ``fault.coordinator_crash``),
+        so an exported trace is a replayable fault timeline.
+        """
         report = ChaosReport()
         honest = self.supervisor.honest_names()
-        for faults in self.plan:
-            result = self.supervisor.run_round(faults)
+        for index, faults in enumerate(self.plan):
+            with trace_span("chaos.round", index=index, clean=faults.is_clean):
+                for name in sorted(faults.machine_faults):
+                    fault = faults.machine_faults[name]
+                    annotate("fault.injected", machine=name, kind=fault.kind)
+                if faults.drop_probability > 0.0:
+                    annotate(
+                        "fault.lossy_links",
+                        drop_probability=faults.drop_probability,
+                    )
+                if faults.coordinator_crash is not None:
+                    annotate(
+                        "fault.coordinator_crash",
+                        point=faults.coordinator_crash,
+                    )
+                if faults.machine_faults:
+                    record_counter(
+                        "chaos.faults_injected", len(faults.machine_faults)
+                    )
+                result = self.supervisor.run_round(faults)
+                violations = check_round_invariants(
+                    result, honest_names=honest, tol=self.tol
+                )
             report.rounds.append(result)
-            violations = check_round_invariants(
-                result, honest_names=honest, tol=self.tol
-            )
-            if violations and self.stop_on_violation:
-                raise InvariantError(violations)
+            if violations:
+                record_counter("chaos.invariant_violations", len(violations))
+                if self.stop_on_violation:
+                    raise InvariantError(violations)
             report.violations.extend(violations)
         return report

@@ -30,6 +30,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.observability.instrumentation import record_counter, timed_section
+
 __all__ = ["CoordinatorCheckpoint", "CheckpointStore"]
 
 
@@ -131,14 +133,19 @@ class CheckpointStore:
 
     def save(self, checkpoint: CoordinatorCheckpoint) -> None:
         """Persist ``checkpoint``, replacing any previous one."""
-        self._payload = checkpoint.to_json()
+        with timed_section("resilience.checkpoint.save.seconds"):
+            self._payload = checkpoint.to_json()
         self.saves += 1
+        record_counter("resilience.checkpoint.saves")
 
     def load(self) -> CoordinatorCheckpoint | None:
         """The most recent checkpoint, or ``None`` if nothing was saved."""
         if self._payload is None:
             return None
-        return CoordinatorCheckpoint.from_json(self._payload)
+        with timed_section("resilience.checkpoint.load.seconds"):
+            checkpoint = CoordinatorCheckpoint.from_json(self._payload)
+        record_counter("resilience.checkpoint.loads")
+        return checkpoint
 
     def clear(self) -> None:
         """Drop the stored checkpoint (end of a completed round)."""

@@ -29,6 +29,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.observability.instrumentation import annotate, record_counter
+
 __all__ = ["CircuitState", "MachineHealth", "QuarantinePolicy"]
 
 
@@ -149,6 +151,8 @@ class QuarantinePolicy:
                 if health.cooldown_remaining <= 0:
                     health.state = CircuitState.HALF_OPEN
                     health.consecutive_probe_successes = 0
+                    record_counter("resilience.quarantine.probes")
+                    annotate("quarantine.probe", machine=name)
             if health.state is not CircuitState.OPEN:
                 admitted.append(name)
         return admitted
@@ -184,6 +188,8 @@ class QuarantinePolicy:
             ):
                 health.state = CircuitState.CLOSED
                 health.current_cooldown = 0
+                record_counter("resilience.quarantine.closed")
+                annotate("quarantine.closed", machine=name)
 
     def record_failure(self, name: str, reason: str) -> None:
         """A failed round for ``name`` (missed deadline, CUSUM alert, ...)."""
@@ -194,18 +200,27 @@ class QuarantinePolicy:
         health.last_failure_reason = reason
         self._update_reputation(health, 0.0)
         if health.state is CircuitState.HALF_OPEN:
-            self._open(health)  # one failed probe re-opens immediately
+            self._open(name, health)  # one failed probe re-opens immediately
         elif (
             health.state is CircuitState.CLOSED
             and health.consecutive_failures >= self.failure_threshold
         ):
-            self._open(health)
+            self._open(name, health)
 
     # ------------------------------------------------------------ internals
 
-    def _open(self, health: MachineHealth) -> None:
+    def _open(self, name: str, health: MachineHealth) -> None:
         health.state = CircuitState.OPEN
         health.times_opened += 1
+        record_counter(
+            "resilience.quarantine.opened",
+            reason=health.last_failure_reason or "unknown",
+        )
+        annotate(
+            "quarantine.opened",
+            machine=name,
+            reason=health.last_failure_reason or "unknown",
+        )
         health.consecutive_probe_successes = 0
         if health.current_cooldown == 0:
             health.current_cooldown = self.cooldown_rounds

@@ -40,6 +40,14 @@ from repro.agents.base import Agent
 from repro.allocation.incremental import IncrementalPRState
 from repro.mechanism.base import Mechanism
 from repro.mechanism.compensation_bonus import VerificationMechanism
+from repro.observability.instrumentation import (
+    annotate,
+    observe_value,
+    record_counter,
+    record_gauge,
+    timed_section,
+    trace_span,
+)
 from repro.protocol.coordinator import COORDINATOR_NAME, MachineNode, ProtocolPhase
 from repro.protocol.faults import FaultTolerantCoordinator, ReliableNetwork
 from repro.protocol.messages import (
@@ -134,7 +142,7 @@ class SupervisedCoordinator(FaultTolerantCoordinator):
         else:
             allocation = self.mechanism.allocate(bids, self.arrival_rate)
         self._loads = allocation.loads
-        self.phase = ProtocolPhase.EXECUTING
+        self._set_phase(ProtocolPhase.EXECUTING)
         self._save_checkpoint()
         for name, load in zip(self.machine_names, allocation.loads):
             self.network.send(
@@ -146,7 +154,7 @@ class SupervisedCoordinator(FaultTolerantCoordinator):
             self.on_allocated(allocation.loads)
 
     def _finish_with_missing(self, missing: set[str]) -> None:
-        self.phase = ProtocolPhase.VERIFYING
+        self._set_phase(ProtocolPhase.VERIFYING)
         self.withheld = sorted(missing)
         self._save_checkpoint()
         self._complete_verification()
@@ -214,7 +222,7 @@ class SupervisedCoordinator(FaultTolerantCoordinator):
                     bonus=amounts[2],
                 )
             )
-        self.phase = ProtocolPhase.DONE
+        self._set_phase(ProtocolPhase.DONE)
         self._save_checkpoint()
 
     # --------------------------------------------------------- persistence
@@ -390,10 +398,21 @@ class _IncrementalAllocator:
         self, names: list[str], bids: np.ndarray, arrival_rate: float
     ) -> AllocationResult:
         """Loads for ``names``/``bids`` via incremental reconciliation."""
-        self._reconcile(names, bids, arrival_rate)
-        assert self._state is not None
-        order = [self._names.index(n) for n in names]
-        loads = self._state.loads()[order]
+        ops_before = self.incremental_ops
+        rebuilds_before = self.rebuilds
+        with timed_section("allocation.incremental.seconds"):
+            self._reconcile(names, bids, arrival_rate)
+            assert self._state is not None
+            order = [self._names.index(n) for n in names]
+            loads = self._state.loads()[order]
+        if self.incremental_ops > ops_before:
+            record_counter(
+                "allocation.incremental.ops", self.incremental_ops - ops_before
+            )
+        if self.rebuilds > rebuilds_before:
+            record_counter(
+                "allocation.incremental.rebuilds", self.rebuilds - rebuilds_before
+            )
         return AllocationResult(
             loads=loads,
             arrival_rate=arrival_rate,
@@ -598,7 +617,34 @@ class RoundSupervisor:
         return report
 
     def run_round(self, faults: "RoundFaults | None" = None) -> RoundResult:
-        """Run one supervised round (optionally with injected faults)."""
+        """Run one supervised round (optionally with injected faults).
+
+        The round runs inside a ``supervisor.round`` span with
+        ``supervisor.{bidding,execution,reporting,detection}`` children,
+        and its observables (retries, voids, restarts, jobs routed,
+        open quarantines) are recorded into the active instrumentation —
+        all no-ops unless :func:`repro.observability.enable` (or the
+        ``repro metrics`` command) turned the layer on.
+        """
+        with trace_span("supervisor.round", index=self._round_index):
+            result = self._run_round(faults)
+        record_counter("supervisor.rounds")
+        if result.voided:
+            record_counter("supervisor.rounds_voided")
+        if result.bid_retries:
+            record_counter("supervisor.bid_retries", result.bid_retries)
+        if result.report_retries:
+            record_counter("supervisor.report_retries", result.report_retries)
+        if result.coordinator_restarts:
+            record_counter(
+                "supervisor.coordinator_restarts", result.coordinator_restarts
+            )
+        observe_value("supervisor.jobs_routed", result.jobs_routed)
+        record_gauge("resilience.quarantine.open", len(result.quarantined))
+        return result
+
+    def _run_round(self, faults: "RoundFaults | None") -> RoundResult:
+        """The round body :meth:`run_round` wraps with instrumentation."""
         index = self._round_index
         self._round_index += 1
 
@@ -732,34 +778,39 @@ class RoundSupervisor:
             )
             current["coordinator"] = restored
             restarts += 1
+            record_counter("resilience.coordinator.restarts")
+            annotate(
+                "coordinator.restarted", phase=ProtocolPhase(checkpoint.phase).value
+            )
             restored.resume()
 
         # --------------------------------------------------------- bidding
-        coordinator.start()
-        sim.run()
-        if coordinator_crash == "during_bidding":
-            # The process dies while bids are still arriving; the
-            # replacement finds no announced allocation and voids.
-            restart_coordinator()
-        bid_retries = 0
-        attempt = 0
-        while (
-            current["coordinator"].phase is ProtocolPhase.BIDDING
-            and attempt < self.max_bid_attempts
-        ):
-            missing = current["coordinator"].pending_bidders
-            delay = self.backoff.delay(attempt, self._rng)
-            for name in missing:
-                sim.schedule(
-                    delay,
-                    lambda s, n=name: network.send(
-                        BidRequest(sender=COORDINATOR_NAME, receiver=n)
-                    ),
-                )
-            bid_retries += len(missing)
-            attempt += 1
+        with trace_span("supervisor.bidding"):
+            coordinator.start()
             sim.run()
-        current["coordinator"].close_bidding(void_if_empty=True)
+            if coordinator_crash == "during_bidding":
+                # The process dies while bids are still arriving; the
+                # replacement finds no announced allocation and voids.
+                restart_coordinator()
+            bid_retries = 0
+            attempt = 0
+            while (
+                current["coordinator"].phase is ProtocolPhase.BIDDING
+                and attempt < self.max_bid_attempts
+            ):
+                missing = current["coordinator"].pending_bidders
+                delay = self.backoff.delay(attempt, self._rng)
+                for name in missing:
+                    sim.schedule(
+                        delay,
+                        lambda s, n=name: network.send(
+                            BidRequest(sender=COORDINATOR_NAME, receiver=n)
+                        ),
+                    )
+                bid_retries += len(missing)
+                attempt += 1
+                sim.run()
+            current["coordinator"].close_bidding(void_if_empty=True)
 
         if current["coordinator"].phase is ProtocolPhase.VOIDED:
             if coordinator_crash != "during_bidding":
@@ -775,34 +826,36 @@ class RoundSupervisor:
             )
 
         # ------------------------------------------------------- execution
-        sim.run()  # drain every routed job to completion
-        if coordinator_crash == "after_allocation":
-            restart_coordinator()  # resumes in EXECUTING from the checkpoint
+        with trace_span("supervisor.execution"):
+            sim.run()  # drain every routed job to completion
+            if coordinator_crash == "after_allocation":
+                restart_coordinator()  # resumes in EXECUTING from the checkpoint
 
         # ------------------------------------------------------- reporting
         report_retries = 0
-        try:
-            for name in list(current["coordinator"].machine_names):
-                nodes[name].report_completion()
-            sim.run()
-            attempt = 0
-            while (
-                current["coordinator"].phase is ProtocolPhase.EXECUTING
-                and attempt < self.max_report_attempts
-            ):
-                missing = current["coordinator"].pending_reporters
-                delay = self.backoff.delay(attempt, self._rng)
-                for name in missing:
-                    sim.schedule(
-                        delay, lambda s, n=name: nodes[n].report_completion()
-                    )
-                report_retries += len(missing)
-                attempt += 1
+        with trace_span("supervisor.reporting"):
+            try:
+                for name in list(current["coordinator"].machine_names):
+                    nodes[name].report_completion()
                 sim.run()
-            current["coordinator"].close_reporting()
-        except CoordinatorCrash:
-            restart_coordinator()  # re-derives the outcome, pays the rest
-        sim.run()  # deliver the remaining payment notices
+                attempt = 0
+                while (
+                    current["coordinator"].phase is ProtocolPhase.EXECUTING
+                    and attempt < self.max_report_attempts
+                ):
+                    missing = current["coordinator"].pending_reporters
+                    delay = self.backoff.delay(attempt, self._rng)
+                    for name in missing:
+                        sim.schedule(
+                            delay, lambda s, n=name: nodes[n].report_completion()
+                        )
+                    report_retries += len(missing)
+                    attempt += 1
+                    sim.run()
+                current["coordinator"].close_reporting()
+            except CoordinatorCrash:
+                restart_coordinator()  # re-derives the outcome, pays the rest
+            sim.run()  # deliver the remaining payment notices
 
         coordinator = current["coordinator"]
         assert coordinator.phase is ProtocolPhase.DONE
@@ -820,20 +873,23 @@ class RoundSupervisor:
         alerts: list[str] = []
         withheld = set(coordinator.withheld)
         declared = dict(zip(names, outcome.allocation.bids))
-        for name in names:
-            if name in withheld or loads[name] <= 0.0:
-                continue
-            sojourns = nodes[name].machine.sojourn_times
-            if not sojourns:
-                continue
-            detector = CusumSlowdownDetector(
-                float(declared[name]),
-                loads[name],
-                threshold=self.detector_threshold,
-                slack=self.detector_slack,
-            )
-            if detector.observe_many(np.asarray(sojourns)) is not None:
-                alerts.append(name)
+        with trace_span("supervisor.detection"):
+            for name in names:
+                if name in withheld or loads[name] <= 0.0:
+                    continue
+                sojourns = nodes[name].machine.sojourn_times
+                if not sojourns:
+                    continue
+                detector = CusumSlowdownDetector(
+                    float(declared[name]),
+                    loads[name],
+                    threshold=self.detector_threshold,
+                    slack=self.detector_slack,
+                )
+                if detector.observe_many(np.asarray(sojourns)) is not None:
+                    alerts.append(name)
+                    record_counter("supervisor.slowdown_alerts")
+                    annotate("slowdown.alert", machine=name)
 
         # ------------------------------------------------------ quarantine
         for name in admitted:

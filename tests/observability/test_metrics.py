@@ -1,0 +1,137 @@
+"""Unit tests for the metrics primitives and registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+
+    def test_quantiles_exact_until_reservoir_fills(self):
+        histogram = Histogram(reservoir_size=100)
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(0.5) == 50.5
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_reservoir_stays_bounded(self):
+        histogram = Histogram(reservoir_size=32)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        assert len(histogram._sample) == 32
+
+    def test_reservoir_sample_is_representative(self):
+        # 10k uniform observations through a 256-slot reservoir: the
+        # estimated median must land near the true median.
+        histogram = Histogram(reservoir_size=256)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert abs(histogram.quantile(0.5) - 5_000.0) < 1_000.0
+
+    def test_deterministic_across_runs(self):
+        def fill() -> Histogram:
+            histogram = Histogram(reservoir_size=16)
+            for value in range(1_000):
+                histogram.observe(float(value))
+            return histogram
+
+        assert fill().summary() == fill().summary()
+
+    def test_empty_summary_has_nones(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+        assert summary["p99"] is None
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_size=0)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("events", kind="a").inc()
+        registry.counter("events", kind="a").inc()
+        registry.counter("events", kind="b").inc()
+        assert registry.counter("events", kind="a").value == 2.0
+        assert registry.counter("events", kind="b").value == 1.0
+        assert len(registry) == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_snapshot_sections_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.late").inc()
+        registry.counter("a.early").inc(2.0)
+        registry.gauge("depth").set(4.0)
+        registry.histogram("latency").observe(0.25)
+        snapshot = registry.snapshot()
+        assert [c["name"] for c in snapshot["counters"]] == ["a.early", "z.late"]
+        assert snapshot["gauges"] == [
+            {"name": "depth", "labels": {}, "value": 4.0}
+        ]
+        assert snapshot["histograms"][0]["count"] == 1
+
+    def test_format_series(self):
+        assert format_series("plain", ()) == "plain"
+        assert (
+            format_series("t", (("a", "1"), ("b", "2"))) == "t{a=1,b=2}"
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for the profiling hooks (Stopwatch and @profiled)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.observability import (
+    Instrumentation,
+    Stopwatch,
+    disable,
+    instrumented,
+    profiled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global():
+    disable()
+    yield
+    disable()
+
+
+class TestStopwatch:
+    def test_measures_with_injected_clock(self):
+        ticks = iter([100.0, 103.5])
+        with Stopwatch(clock=lambda: next(ticks)) as watch:
+            pass
+        assert watch.elapsed == 3.5
+
+    def test_records_into_active_histogram(self):
+        with instrumented() as instr:
+            ticks = iter([0.0, 2.0])
+            with Stopwatch("block.seconds", clock=lambda: next(ticks), stage="x"):
+                pass
+        histogram = instr.metrics.histogram("block.seconds", stage="x")
+        assert histogram.count == 1
+        assert histogram.total == 2.0
+
+    def test_without_name_records_nothing(self):
+        with instrumented() as instr:
+            with Stopwatch():
+                pass
+        assert len(instr.metrics) == 0
+
+    def test_records_even_when_block_raises(self):
+        with instrumented() as instr:
+            ticks = iter([0.0, 1.0])
+            with pytest.raises(ValueError):
+                with Stopwatch("fail.seconds", clock=lambda: next(ticks)):
+                    raise ValueError("boom")
+        assert instr.metrics.histogram("fail.seconds").count == 1
+
+
+class TestProfiled:
+    def test_disabled_calls_pass_through(self):
+        calls = []
+
+        @profiled("work.seconds")
+        def work(x):
+            calls.append(x)
+            return x + 1
+
+        assert work(1) == 2
+        assert calls == [1]
+
+    def test_enabled_calls_record_durations(self):
+        ticks = itertools.count()
+        instr = Instrumentation(clock=lambda: float(next(ticks)))
+
+        @profiled("work.seconds", component="demo")
+        def work():
+            return "done"
+
+        with instrumented(instr):
+            work()
+            work()
+        histogram = instr.metrics.histogram("work.seconds", component="demo")
+        assert histogram.count == 2
+        assert histogram.total == 2.0  # one tick per call
+
+    def test_activation_resolved_per_call(self):
+        @profiled("late.seconds")
+        def work():
+            return None
+
+        work()  # disabled: no registry exists yet
+        with instrumented() as instr:
+            work()
+        assert instr.metrics.histogram("late.seconds").count == 1
+
+    def test_preserves_function_metadata(self):
+        @profiled("meta.seconds")
+        def documented():
+            """Docstring survives wrapping."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring survives wrapping."

@@ -1,0 +1,124 @@
+"""Unit tests for the span tracer and its JSONL export."""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+
+from repro.observability.tracing import Tracer
+
+
+def _tick_tracer(**kwargs) -> Tracer:
+    ticks = itertools.count()
+    return Tracer(clock=lambda: float(next(ticks)), **kwargs)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = _tick_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Children finish (and are appended) before their parents.
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+
+    def test_durations_from_injected_clock(self):
+        tracer = _tick_tracer()
+        with tracer.span("a"):
+            pass
+        assert tracer.finished[0].duration == 1.0
+
+    def test_attributes_and_annotations(self):
+        tracer = _tick_tracer()
+        with tracer.span("round", index=3):
+            assert tracer.annotate("retry", machine="C2") is True
+        record = tracer.finished[0]
+        assert record.attributes == {"index": 3}
+        assert record.annotations[0]["message"] == "retry"
+        assert record.annotations[0]["machine"] == "C2"
+
+    def test_annotate_without_open_span_is_noop(self):
+        tracer = _tick_tracer()
+        assert tracer.annotate("orphan") is False
+        assert tracer.finished == []
+
+    def test_exception_marks_span_as_error(self):
+        tracer = _tick_tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        record = tracer.finished[0]
+        assert record.attributes["error"] == "RuntimeError"
+        assert record.end is not None  # the span still closed
+
+    def test_max_spans_drops_but_keeps_counting(self):
+        tracer = _tick_tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.finished) == 2
+        assert tracer.dropped == 3
+
+    def test_current_tracks_the_stack(self):
+        tracer = _tick_tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+
+class TestSummary:
+    def test_percentiles_per_name(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        # Hand-build durations by driving the clock through a closure.
+        times = iter([0.0, 1.0, 0.0, 3.0, 0.0, 5.0])
+        tracer.clock = lambda: next(times)
+        for _ in range(3):
+            with tracer.span("work"):
+                pass
+        summary = tracer.summary()["work"]
+        assert summary["count"] == 3
+        assert summary["p50"] == 3.0
+        assert summary["max"] == 5.0
+        assert summary["total"] == 9.0
+
+
+class TestExport:
+    def test_jsonl_round_trips(self):
+        tracer = _tick_tracer()
+        with tracer.span("round", index=0):
+            tracer.annotate("event", detail="x")
+        lines = tracer.dumps_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "round"
+        assert record["attributes"] == {"index": 0}
+        assert record["annotations"][0]["message"] == "event"
+        assert record["duration"] == record["end"] - record["start"]
+
+    def test_export_to_file_handle_and_path(self, tmp_path):
+        tracer = _tick_tracer()
+        with tracer.span("a"):
+            pass
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 1
+        assert buffer.getvalue().endswith("\n")
+
+        path = tmp_path / "spans.jsonl"
+        tracer.export_jsonl(str(path))
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "a"
+
+    def test_empty_export_is_empty(self):
+        tracer = _tick_tracer()
+        assert tracer.dumps_jsonl() == ""
+        buffer = io.StringIO()
+        assert tracer.export_jsonl(buffer) == 0
+        assert buffer.getvalue() == ""

@@ -34,6 +34,27 @@ class TestDetectorMechanics:
         again = detector.observe_many(rng.exponential(5.0, size=100))
         assert again.jobs_observed == jobs_at_alert  # same alert object
 
+    def test_batch_with_multiple_crossings_latches_first(self):
+        # Deterministic stream: with slack 0 and threshold 1, each
+        # sojourn of 3x the expected mean adds +2 to the statistic, so
+        # a batch of five such jobs crosses the threshold at job 1 and
+        # would "cross" again at every subsequent job.  The contract is
+        # one-shot: the alert latches at the FIRST crossing, the rest
+        # of the batch is not consumed, and the state freezes there.
+        detector = CusumSlowdownDetector(1.0, 1.0, threshold=1.0, slack=0.0)
+        alert = detector.observe_many(np.full(5, 3.0))
+        assert alert is not None
+        assert alert.jobs_observed == 1
+        assert detector.jobs_observed == 1  # batch tail not consumed
+        assert detector.statistic == alert.statistic == 2.0
+
+    def test_observe_many_on_latched_detector_consumes_nothing(self):
+        detector = CusumSlowdownDetector(1.0, 1.0, threshold=1.0, slack=0.0)
+        first = detector.observe_many(np.full(5, 3.0))
+        again = detector.observe_many(np.full(10, 3.0))
+        assert again is first  # the same latched SlowdownAlert object
+        assert detector.jobs_observed == 1
+
     def test_statistic_resets_at_zero_floor(self):
         detector = CusumSlowdownDetector(1.0, 1.0, slack=0.0)
         detector.observe(0.0)  # much faster than declared

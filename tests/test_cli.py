@@ -140,6 +140,57 @@ class TestResilience:
         assert "rounds driven" in out
 
 
+class TestMetrics:
+    def test_text_report_has_all_sections(self, capsys):
+        out = run_cli(
+            capsys, "metrics", "--rounds", "2", "--machines", "4",
+            "--seed", "1",
+        )
+        assert "Span timings" in out
+        assert "supervisor.round" in out
+        assert "Counters" in out
+        assert "protocol.phase_transitions" in out
+
+    def test_json_report_parses_with_expected_sections(self, capsys):
+        import json
+
+        out = run_cli(
+            capsys, "metrics", "--rounds", "2", "--machines", "4",
+            "--seed", "1", "--json",
+        )
+        snapshot = json.loads(out)
+        for section in ("counters", "gauges", "histograms", "spans"):
+            assert section in snapshot
+        assert "supervisor.round" in snapshot["spans"]
+        assert snapshot["spans"]["supervisor.round"]["count"] == 2
+
+    def test_chaos_campaign_records_fault_counters(self, capsys):
+        import json
+
+        out = run_cli(
+            capsys, "metrics", "--rounds", "6", "--machines", "6",
+            "--seed", "1", "--chaos", "--json",
+        )
+        snapshot = json.loads(out)
+        assert "chaos.round" in snapshot["spans"]
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "chaos.faults_injected" in names
+
+    def test_trace_export_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        out = run_cli(
+            capsys, "metrics", "--rounds", "1", "--machines", "4",
+            "--seed", "0", "--trace", str(path),
+        )
+        assert str(path) in out
+        lines = path.read_text().splitlines()
+        assert lines, "trace export produced no spans"
+        names = {json.loads(line)["name"] for line in lines}
+        assert "supervisor.round" in names
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,52 @@
+"""Documentation integrity: doctested snippets and intra-repo links.
+
+``docs/api.md`` promises that every snippet on the page runs; this
+module keeps that promise enforced by the regular test suite, and runs
+the same link check CI's docs job performs via
+``tools/check_links.py``.
+"""
+
+from __future__ import annotations
+
+import doctest
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestApiReference:
+    def test_every_snippet_runs(self):
+        results = doctest.testfile(
+            str(REPO_ROOT / "docs" / "api.md"),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.attempted > 30, "docs/api.md lost its snippets"
+        assert results.failed == 0
+
+    def test_reference_covers_every_documented_subpackage(self):
+        text = (REPO_ROOT / "docs" / "api.md").read_text()
+        for section in (
+            "repro.allocation",
+            "repro.mechanism",
+            "repro.protocol",
+            "repro.resilience",
+            "repro.observability",
+        ):
+            assert f"`{section}`" in text, f"docs/api.md lacks a {section} section"
+
+
+class TestIntraRepoLinks:
+    def test_no_broken_markdown_links(self):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            from check_links import broken_links
+        finally:
+            sys.path.pop(0)
+        failures = broken_links(REPO_ROOT)
+        formatted = [
+            f"{path.relative_to(REPO_ROOT)}:{lineno}: {target}"
+            for path, lineno, target in failures
+        ]
+        assert not failures, "broken intra-repo links:\n" + "\n".join(formatted)

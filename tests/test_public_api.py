@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.system",
     "repro.protocol",
     "repro.resilience",
+    "repro.observability",
     "repro.distributed",
     "repro.dynamic",
     "repro.experiments",

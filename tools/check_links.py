@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the repository's Markdown files.
+
+Scans every ``*.md`` under the repo root (skipping ``.git`` and other
+dot-directories), extracts inline Markdown links and images, and checks
+that every *relative* target resolves to an existing file or directory.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+anchors (``#section``) are ignored — this tool guards the links we can
+verify offline, not the internet.
+
+Usage::
+
+    python tools/check_links.py [ROOT]
+
+Exits 0 when every intra-repo link resolves, 1 otherwise (printing one
+``file:line: target`` diagnostic per broken link).  CI runs this as
+part of the docs job; ``tests/test_docs.py`` runs the same check under
+pytest so a broken link also fails the local suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# definitions are rare in this repo and intentionally out of scope.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` under ``root``, skipping dot-directories."""
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not any(part.startswith(".") for part in path.relative_to(root).parts[:-1])
+    )
+
+
+def broken_links(root: Path) -> list[tuple[Path, int, str]]:
+    """All unresolvable relative link targets as (file, line, target)."""
+    failures: list[tuple[Path, int, str]] = []
+    for markdown in iter_markdown_files(root):
+        for lineno, line in enumerate(
+            markdown.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (markdown.parent / path_part).resolve()
+                if not resolved.exists():
+                    failures.append((markdown, lineno, target))
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    failures = broken_links(root)
+    for markdown, lineno, target in failures:
+        print(f"{markdown.relative_to(root)}:{lineno}: broken link -> {target}")
+    if failures:
+        print(f"{len(failures)} broken intra-repo link(s).")
+        return 1
+    print(f"All intra-repo links resolve ({len(iter_markdown_files(root))} files checked).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
