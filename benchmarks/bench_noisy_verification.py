@@ -30,8 +30,32 @@ def test_estimation_error_vs_duration(benchmark, record_result):
         )
         return float(result.estimation_relative_error.mean())
 
+    # The sweep itself goes through the campaign engine: one truthful
+    # protocol unit per window, seed = int(duration) — the exact
+    # configuration run_window executes inline, so the two paths must
+    # agree bit for bit (the engine's purity contract).
+    from repro.parallel import CampaignEngine, ExperimentUnit
+
     durations = [25.0, 100.0, 400.0, 1600.0]
-    errors = [run_window(d) for d in durations]
+    units = [
+        ExperimentUnit(
+            kind="protocol",
+            scenario="True1",
+            bid_factor=1.0,
+            execution_factor=1.0,
+            true_values=tuple(config.cluster.true_values.tolist()),
+            arrival_rate=config.arrival_rate,
+            seed=int(d),
+            duration=d,
+        )
+        for d in durations
+    ]
+    campaign = CampaignEngine(workers=0).run(units)
+    errors = [
+        float(np.mean([e for e in p["estimation_error"] if e is not None]))
+        for p in campaign.payloads
+    ]
+    assert errors[1] == run_window(100.0)  # engine == inline, bit-exact
     benchmark(run_window, 100.0)
 
     # Error decays with the window (more completions per machine).

@@ -1,0 +1,223 @@
+"""Ablation A20 — campaign engine: parallel speedup and cache payoff.
+
+The campaign engine makes two promises (DESIGN.md §9):
+
+* **speed without drift** — fanning a campaign across workers changes
+  wall-clock only: per-unit payloads are *bit-identical* to a serial
+  run (asserted on every run, every machine);
+* **a warm cache short-circuits** — re-running a cached campaign costs
+  < 10% of the cold wall-clock (asserted everywhere), and on a box
+  with >= 4 cores the 4-worker cold run is >= 3x faster than serial
+  (asserted only there: a 1-core CI runner cannot show a speedup, and
+  pretending otherwise would just make the bench flaky).
+
+The workload is the Table 1 + Figures campaign with seeded protocol
+replications — the realistic regime, where one discrete-event unit
+costs ~1000x a closed-form one and chunked scheduling has something to
+balance.
+
+Runs two ways:
+
+* under pytest with the other benches
+  (``pytest benchmarks/bench_parallel.py --benchmark-only``);
+* standalone (``PYTHONPATH=src python benchmarks/bench_parallel.py
+  [--smoke] [--json]``), exiting non-zero when an assertion that
+  applies to this machine fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without install
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+SPEEDUP_TARGET = 3.0   # cold 4-worker vs serial, on >= 4 physical cores
+WARM_BUDGET = 0.10     # warm-cache wall-clock as a fraction of cold
+MIN_CORES_FOR_SPEEDUP = 4
+
+
+def _units(n_seeds: int, duration: float):
+    from repro.parallel import figures_campaign_units
+
+    return figures_campaign_units(
+        seeds=tuple(range(n_seeds)), duration=duration
+    )
+
+
+def _timed_run(units, **engine_kwargs):
+    from repro.parallel import CampaignEngine
+
+    start = time.perf_counter()
+    result = CampaignEngine(**engine_kwargs).run(units)
+    return time.perf_counter() - start, result
+
+
+def measure_campaign(*, n_seeds: int = 10, duration: float = 200.0) -> dict:
+    """Serial vs 2/4-worker cold runs, then cold vs warm cache.
+
+    Every arm runs the identical unit list.  The parallel arms are
+    checked payload-by-payload against the serial arm; the cache arms
+    run in a scratch directory so the measurement is hermetic.
+    """
+    units = _units(n_seeds, duration)
+
+    serial_seconds, serial = _timed_run(units, workers=0)
+
+    speedups: dict[int, float] = {}
+    identical = True
+    for workers in (2, 4):
+        seconds, result = _timed_run(units, workers=workers)
+        speedups[workers] = serial_seconds / seconds
+        identical = identical and result.payloads == serial.payloads
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_seconds, cold = _timed_run(units, workers=0, cache=cache_dir)
+        warm_seconds, warm = _timed_run(units, workers=0, cache=cache_dir)
+    warm_fraction = warm_seconds / cold_seconds
+    cache_identical = (
+        warm.payloads == cold.payloads == serial.payloads
+        and warm.stats.cache_hits == len(units)
+        and cold.stats.cache_misses == len(units)
+    )
+
+    cores = os.cpu_count() or 1
+    speedup_applies = cores >= MIN_CORES_FOR_SPEEDUP
+    return {
+        "n_units": len(units),
+        "n_seeds": n_seeds,
+        "duration": duration,
+        "cpu_cores": cores,
+        "serial_seconds": serial_seconds,
+        "speedup_2_workers": speedups[2],
+        "speedup_4_workers": speedups[4],
+        "parallel_bit_identical": identical,
+        "cold_cache_seconds": cold_seconds,
+        "warm_cache_seconds": warm_seconds,
+        "warm_fraction_of_cold": warm_fraction,
+        "warm_within_budget": warm_fraction < WARM_BUDGET,
+        "cache_bit_identical": cache_identical,
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_assertion_applies": speedup_applies,
+        "speedup_met": speedups[4] >= SPEEDUP_TARGET,
+        "unit_p50_seconds": serial.stats.unit_p50,
+        "unit_p95_seconds": serial.stats.unit_p95,
+    }
+
+
+def check_summary(summary: dict) -> list[str]:
+    """The assertions that apply on this machine; empty = all good."""
+    failures = []
+    if not summary["parallel_bit_identical"]:
+        failures.append("parallel payloads differ from the serial run")
+    if not summary["cache_bit_identical"]:
+        failures.append("cache round-trip altered payloads or miscounted")
+    if not summary["warm_within_budget"]:
+        failures.append(
+            f"warm cache took {100 * summary['warm_fraction_of_cold']:.1f}% "
+            f"of cold (budget {100 * WARM_BUDGET:.0f}%)"
+        )
+    if summary["speedup_assertion_applies"] and not summary["speedup_met"]:
+        failures.append(
+            f"4-worker speedup {summary['speedup_4_workers']:.2f}x "
+            f"< {SPEEDUP_TARGET:g}x on a {summary['cpu_cores']}-core box"
+        )
+    return failures
+
+
+# --------------------------------------------------------------- pytest
+
+
+def test_campaign_speedup_and_cache(record_result, record_json):
+    summary = measure_campaign(n_seeds=4, duration=60.0)
+    failures = check_summary(summary)
+    assert not failures, "; ".join(failures)
+
+    from repro.experiments import render_table
+
+    def pct(x):
+        return f"{100 * x:.1f} %"
+
+    rows = [
+        ["units (8 scenario + seeds x 8)", summary["n_units"]],
+        ["cpu cores", summary["cpu_cores"]],
+        ["serial wall-clock", f"{summary['serial_seconds']:.3f} s"],
+        ["speedup, 2 workers", f"{summary['speedup_2_workers']:.2f} x"],
+        ["speedup, 4 workers", f"{summary['speedup_4_workers']:.2f} x"],
+        ["parallel == serial (bit-exact)",
+         "yes" if summary["parallel_bit_identical"] else "NO"],
+        ["cold cache wall-clock", f"{summary['cold_cache_seconds']:.3f} s"],
+        ["warm cache wall-clock", f"{summary['warm_cache_seconds']:.3f} s"],
+        ["warm / cold", pct(summary["warm_fraction_of_cold"])],
+        ["warm budget", pct(WARM_BUDGET)],
+        ["speedup target (>= 4 cores)",
+         f"{SPEEDUP_TARGET:g} x"
+         + ("" if summary["speedup_assertion_applies"]
+            else " (not asserted here)")],
+    ]
+    record_result(
+        "ablation_parallel_campaign",
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title="A20. Campaign engine: parallel speedup and cache payoff.",
+        ),
+    )
+    record_json("ablation_parallel_campaign", summary)
+
+
+def test_scenario_only_campaign_is_exact():
+    # The pure closed-form campaign (no protocol units) must reproduce
+    # the paper's optimum through every path: serial, parallel, cached.
+    from repro.parallel import CampaignEngine, scenario_units
+
+    units = scenario_units()
+    serial = CampaignEngine(workers=0).run(units)
+    parallel = CampaignEngine(workers=2).run(units)
+    assert parallel.payloads == serial.payloads
+    assert round(serial.payloads[0]["realised_latency"], 2) == 78.43
+
+
+# ------------------------------------------------------------ standalone
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run the bench; fail on any applicable assertion."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast run sized for CI (4 seeds, 60 s windows)",
+    )
+    parser.add_argument("--seeds", type=int, default=10)
+    parser.add_argument("--duration", type=float, default=200.0)
+    parser.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    n_seeds = 4 if args.smoke else args.seeds
+    duration = 60.0 if args.smoke else args.duration
+    summary = measure_campaign(n_seeds=n_seeds, duration=duration)
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        for key, value in summary.items():
+            print(f"{key:28} {value}")
+
+    failures = check_summary(summary)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -90,7 +90,7 @@ from repro.experiments import (
     figure6_truthful_structure,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AllocationResult",

@@ -11,6 +11,8 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro poa --intercepts 1,0 --slopes 0.000001,1 --rate 1
     repro resilience --rounds 50 --machines 8 --seed 0
     repro metrics --rounds 10 --machines 8 --chaos --json
+    repro campaign --workers 4 --seeds 10 --cache-dir .repro-cache
+    repro campaign --no-resume       # recompute, but refresh the cache
 """
 
 from __future__ import annotations
@@ -320,7 +322,22 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
         rng=np.random.default_rng(args.seed),
     )
     with instrumented() as instr:
-        if args.chaos:
+        if args.campaign:
+            # Run the Figures campaign twice against a scratch cache so
+            # the campaign.cache.{hits,misses} counters and the
+            # campaign.unit.seconds histogram are populated: first run
+            # all misses, second run all hits.
+            import tempfile
+
+            from repro.parallel import CampaignEngine, figures_campaign_units
+
+            units = figures_campaign_units(
+                config, seeds=(args.seed,), duration=min(args.duration, 50.0)
+            )
+            with tempfile.TemporaryDirectory() as cache_dir:
+                CampaignEngine(workers=0, cache=cache_dir).run(units)
+                CampaignEngine(workers=0, cache=cache_dir).run(units)
+        elif args.chaos:
             plan = FaultPlan.generate(
                 args.rounds, supervisor.machine_names, seed=args.seed
             )
@@ -368,12 +385,17 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
         if h["count"]
     ]
 
-    workload = "chaos campaign" if args.chaos else "supervised rounds"
+    if args.campaign:
+        workload = "figures campaign x2 (cold then warm cache)"
+    elif args.chaos:
+        workload = f"{args.rounds} chaos campaign"
+    else:
+        workload = f"{args.rounds} supervised rounds"
     parts = [
         render_table(
             ["span", "count", "p50", "p95", "p99", "max"],
             span_rows,
-            title=f"Span timings: {args.rounds} {workload}, "
+            title=f"Span timings: {workload}, "
             f"{len(true_values)} machines, seed {args.seed}.",
         ),
         render_table(["counter", "value"], counter_rows, title="Counters."),
@@ -395,10 +417,117 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def _fmt_unit_seconds(value: float) -> str:
+    """Per-unit latency for the campaign summary (ms precision)."""
+    return "-" if value != value else f"{value * 1e3:,.2f}ms"  # nan check
+
+
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.experiments import render_table, table1_configuration
+    from repro.observability import instrumented
+    from repro.parallel import (
+        CampaignEngine,
+        figures_campaign_units,
+        records_from_campaign,
+    )
+
+    if args.seeds < 0:
+        raise ValueError(f"--seeds must be >= 0, got {args.seeds}")
+    if args.duration <= 0:
+        raise ValueError(f"--duration must be positive, got {args.duration}")
+    config = table1_configuration()
+    units = figures_campaign_units(
+        config,
+        seeds=tuple(range(args.seeds)),
+        duration=args.duration,
+        variant=args.variant,
+    )
+    engine = CampaignEngine(
+        workers=args.workers,
+        cache=None if args.no_cache else args.cache_dir,
+        reuse_cache=args.resume,
+    )
+    with instrumented() as instr:
+        result = engine.run(units)
+
+    if args.trace is not None:
+        result.export_worker_spans(args.trace)
+
+    stats = result.stats
+    if args.json:
+        return json.dumps(
+            {
+                "n_units": stats.n_units,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "hit_rate": stats.hit_rate,
+                "workers": stats.workers,
+                "chunks": stats.chunks,
+                "wall_seconds": stats.wall_seconds,
+                "computed_seconds": stats.computed_seconds,
+                "keys": list(result.keys),
+                "payloads": [dict(p) for p in result.payloads],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    cache_note = (
+        "disabled" if args.no_cache
+        else f"{args.cache_dir} ({'resume' if args.resume else 'refresh'})"
+    )
+    rows = [
+        ["units", stats.n_units],
+        ["cache hits / misses", f"{stats.cache_hits} / {stats.cache_misses}"],
+        ["hit rate", f"{100 * stats.hit_rate:.1f}%"],
+        ["workers", stats.workers],
+        ["chunks dispatched", stats.chunks],
+        ["wall-clock", f"{stats.wall_seconds:.3f}s"],
+        ["compute time (all workers)", f"{stats.computed_seconds:.3f}s"],
+        ["unit latency p50", _fmt_unit_seconds(stats.unit_p50)],
+        ["unit latency p95", _fmt_unit_seconds(stats.unit_p95)],
+        ["cache", cache_note],
+    ]
+    parts = [
+        render_table(
+            ["quantity", "value"],
+            rows,
+            title=f"Campaign: 8 scenarios + {args.seeds} protocol seed(s) "
+            f"x 8, variant={args.variant}.",
+        )
+    ]
+
+    records = records_from_campaign(result)
+    optimum = records[0].total_latency  # True1
+    parts.append(
+        render_table(
+            ["experiment", "total latency", "degradation %"],
+            [
+                [r.scenario.name, r.total_latency,
+                 r.degradation_percent(optimum)]
+                for r in records
+            ],
+            title="Closed-form scenario results (Figure 1 series).",
+        )
+    )
+    if args.trace is not None:
+        parts.append(
+            f"Exported {len(result.worker_spans)} worker spans to {args.trace}."
+        )
+    return "\n\n".join(parts)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> str:
     from repro.experiments import reproduce_all
+    from repro.parallel import CampaignEngine
 
-    bundle = reproduce_all(args.output)
+    engine = CampaignEngine(
+        workers=args.workers,
+        cache=args.cache_dir,
+    )
+    bundle = reproduce_all(args.output, engine=engine)
     status = "all claims PASS" if bundle.all_claims_pass else "FAILURES present"
     lines = [f"wrote {len(bundle.files_written)} files to {bundle.output_dir} ({status}):"]
     lines += [f"  {name}" for name in bundle.files_written]
@@ -530,6 +659,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a seeded fault plan (faults appear as span annotations)",
     )
     metrics.add_argument(
+        "--campaign", action="store_true",
+        help="instrument a figures campaign run twice against a scratch "
+        "cache (cold then warm) so the campaign.cache.hits/misses "
+        "counters and unit-latency histogram are visible",
+    )
+    metrics.add_argument(
         "--json", action="store_true",
         help="emit the full snapshot (counters/gauges/histograms/spans) as JSON",
     )
@@ -555,7 +690,58 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce", help="write the full table/figure/report bundle to a directory"
     )
     reproduce.add_argument("--output", default="reproduction")
+    reproduce.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the scenario campaign (0 = in-process)",
+    )
+    reproduce.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache for the campaign (default: none)",
+    )
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run the figures campaign through the parallel engine + cache",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 or 1 = in-process, deterministic either way)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=0, metavar="N",
+        help="protocol replications per scenario (seeds 0..N-1; default 0)",
+    )
+    campaign.add_argument(
+        "--duration", type=float, default=200.0,
+        help="job-generation window per protocol replication (simulated s)",
+    )
+    campaign.add_argument(
+        "--variant", choices=_VARIANTS, default="observed",
+        help="mechanism variant the units evaluate",
+    )
+    campaign.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="content-addressed result cache (default: .repro-cache)",
+    )
+    campaign.add_argument(
+        "--no-cache", action="store_true",
+        help="run without any result cache (neither read nor written)",
+    )
+    campaign.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="serve cached units (--no-resume recomputes everything but "
+        "still refreshes the cache)",
+    )
+    campaign.add_argument(
+        "--json", action="store_true",
+        help="emit stats, cache keys, and per-unit payloads as JSON",
+    )
+    campaign.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export per-worker campaign.unit spans as JSON Lines to FILE",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     return parser
 

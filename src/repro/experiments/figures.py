@@ -80,24 +80,52 @@ def run_scenario(
 def run_all_scenarios(
     config: Table1Configuration | None = None,
     mechanism: Mechanism | None = None,
+    *,
+    engine=None,
 ) -> list[ExperimentRecord]:
-    """All eight Table 2 scenarios, in the paper's order."""
+    """All eight Table 2 scenarios, in the paper's order.
+
+    Pass a :class:`~repro.parallel.CampaignEngine` to submit the eight
+    evaluations through the campaign layer instead (worker pool and
+    result cache apply); the records come back bit-identical to the
+    inline path.  The engine path covers the default mechanism only —
+    a custom ``mechanism`` instance cannot be content-addressed.
+    """
     if config is None:
         config = table1_configuration()
+    if engine is not None:
+        if mechanism is not None:
+            raise ValueError(
+                "engine-backed runs support the default mechanism only; "
+                "pass mechanism=None"
+            )
+        from repro.parallel.campaigns import records_from_campaign, scenario_units
+
+        return records_from_campaign(engine.run(scenario_units(config)))
     return [run_scenario(s, config, mechanism) for s in PAPER_SCENARIOS]
 
 
 def figure1_data(
     config: Table1Configuration | None = None,
+    *,
+    records: list[ExperimentRecord] | None = None,
 ) -> dict[str, float]:
-    """Figure 1 — total latency per experiment ("performance degradation")."""
-    records = run_all_scenarios(config)
+    """Figure 1 — total latency per experiment ("performance degradation").
+
+    ``records`` lets a caller that already ran the scenario campaign
+    (e.g. :func:`~repro.experiments.runner.reproduce_all`) build the
+    figure without recomputing the eight evaluations.
+    """
+    if records is None:
+        records = run_all_scenarios(config)
     return {r.scenario.name: r.total_latency for r in records}
 
 
 def figure2_data(
     config: Table1Configuration | None = None,
     mechanism: Mechanism | None = None,
+    *,
+    records: list[ExperimentRecord] | None = None,
 ) -> dict[str, tuple[float, float]]:
     """Figure 2 — (payment, utility) of computer C1 per experiment.
 
@@ -105,22 +133,40 @@ def figure2_data(
     prose variant where Low2's *payment* (not just utility) is negative;
     the default follows the paper's formal Definition 3.3.
     """
-    records = run_all_scenarios(config, mechanism)
+    if records is None:
+        records = run_all_scenarios(config, mechanism)
     return {r.scenario.name: (r.c1_payment, r.c1_utility) for r in records}
+
+
+def _record_for(
+    scenario_name: str,
+    config: Table1Configuration | None,
+    records: list[ExperimentRecord] | None,
+) -> ExperimentRecord:
+    """One scenario's record, from a precomputed campaign if given."""
+    from repro.experiments.table2 import scenario_by_name
+
+    scenario = scenario_by_name(scenario_name)
+    if records is not None:
+        for record in records:
+            if record.scenario.name == scenario.name:
+                return record
+        raise KeyError(f"no precomputed record for scenario {scenario.name!r}")
+    return run_scenario(scenario, config)
 
 
 def figure345_data(
     scenario_name: str,
     config: Table1Configuration | None = None,
+    *,
+    records: list[ExperimentRecord] | None = None,
 ) -> dict[str, np.ndarray]:
     """Figures 3–5 — per-computer payment and utility for one experiment.
 
     Figure 3 is ``scenario_name="True1"``, Figure 4 ``"High1"``,
     Figure 5 ``"Low1"``.
     """
-    from repro.experiments.table2 import scenario_by_name
-
-    record = run_scenario(scenario_by_name(scenario_name), config)
+    record = _record_for(scenario_name, config, records)
     payments = record.outcome.payments
     return {
         "payment": payments.payment,
@@ -133,6 +179,8 @@ def figure345_data(
 
 def figure6_truthful_structure(
     config: Table1Configuration | None = None,
+    *,
+    records: list[ExperimentRecord] | None = None,
 ) -> dict[str, np.ndarray]:
     """Figure 6 — per-computer payment structure under truthful play.
 
@@ -142,7 +190,7 @@ def figure6_truthful_structure(
     this truthful structure: the lower bound is voluntary participation
     (Theorem 3.2), the ~2.5 upper bound is empirical.
     """
-    record = run_scenario(PAPER_SCENARIOS[0], config)  # True1
+    record = _record_for(PAPER_SCENARIOS[0].name, config, records)  # True1
     payments = record.outcome.payments
     valuation_magnitude = np.abs(payments.valuation)
     return {
@@ -154,6 +202,8 @@ def figure6_truthful_structure(
 
 def figure6_data(
     config: Table1Configuration | None = None,
+    *,
+    records: list[ExperimentRecord] | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 6 — payment structure per experiment.
 
@@ -162,7 +212,8 @@ def figure6_data(
     observation is that the ratio never exceeds ~2.5 and is bounded
     below by 1 (voluntary participation).
     """
-    records = run_all_scenarios(config)
+    if records is None:
+        records = run_all_scenarios(config)
     data: dict[str, dict[str, float]] = {}
     for record in records:
         payments = record.outcome.payments

@@ -11,6 +11,13 @@ and writes everything a reviewer needs into one directory:
 * ``report.txt`` — the 15-claim paper-vs-measured verification report;
 * ``MANIFEST.txt`` — what was written, with the library version.
 
+The eight scenario evaluations behind the figures are submitted as one
+campaign through :class:`~repro.parallel.CampaignEngine` — every
+figure and the data dumps are derived from that single result set
+(previously each figure recomputed the sweep).  Pass an engine with a
+cache and/or workers to reuse results across invocations; the bundle
+is bit-identical either way.
+
 Exposed on the CLI as ``repro reproduce --output DIR``.
 """
 
@@ -25,7 +32,6 @@ from repro.experiments.figures import (
     figure345_data,
     figure6_data,
     figure6_truthful_structure,
-    run_all_scenarios,
 )
 from repro.experiments.io import records_to_csv, records_to_json
 from repro.experiments.paper_check import ReproductionReport, verify_reproduction
@@ -56,13 +62,28 @@ def _write(path: Path, text: str, written: list[str], root: Path) -> None:
     written.append(str(path.relative_to(root)))
 
 
-def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
-    """Regenerate every table, figure, and the claim report into a directory."""
+def reproduce_all(
+    output_dir: Path | str, *, engine=None
+) -> ReproductionBundle:
+    """Regenerate every table, figure, and the claim report into a directory.
+
+    ``engine`` (a :class:`~repro.parallel.CampaignEngine`) is where the
+    scenario evaluations are submitted; the default is a serial,
+    uncached engine.  Passing one with a cache makes repeat bundles
+    near-free; passing one with workers parallelises the sweep.
+    """
+    from repro.parallel import CampaignEngine
+    from repro.parallel.campaigns import run_figures_campaign
+
     root = Path(output_dir)
     root.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
 
     config = table1_configuration()
+    if engine is None:
+        engine = CampaignEngine(workers=0, cache=None)
+    campaign = run_figures_campaign(engine, config)
+    records = list(campaign.records)
 
     # --- tables ------------------------------------------------------------
     rows = [[machines, value] for machines, value in config.groups]
@@ -86,7 +107,7 @@ def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
     )
 
     # --- figures -----------------------------------------------------------
-    fig1 = figure1_data(config)
+    fig1 = figure1_data(config, records=records)
     optimum = fig1["True1"]
     _write(
         root / "figures" / "figure1.txt",
@@ -97,7 +118,7 @@ def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
         ),
         written, root,
     )
-    fig2 = figure2_data(config)
+    fig2 = figure2_data(config, records=records)
     _write(
         root / "figures" / "figure2.txt",
         render_table(
@@ -109,7 +130,7 @@ def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
     )
     names = config.cluster.names
     for number, scenario in ((3, "True1"), (4, "High1"), (5, "Low1")):
-        data = figure345_data(scenario, config)
+        data = figure345_data(scenario, config, records=records)
         _write(
             root / "figures" / f"figure{number}.txt",
             render_table(
@@ -121,8 +142,8 @@ def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
             ),
             written, root,
         )
-    fig6 = figure6_data(config)
-    structure = figure6_truthful_structure(config)
+    fig6 = figure6_data(config, records=records)
+    structure = figure6_truthful_structure(config, records=records)
     fig6_text = render_table(
         ["experiment", "total payment", "total |valuation|", "ratio"],
         [[k, row["total_payment"], row["total_valuation"], row["ratio"]]
@@ -138,7 +159,6 @@ def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
     _write(root / "figures" / "figure6.txt", fig6_text, written, root)
 
     # --- machine-readable data ----------------------------------------------
-    records = run_all_scenarios(config)
     (root / "data").mkdir(exist_ok=True)
     records_to_json(records, root / "data" / "scenarios.json")
     written.append("data/scenarios.json")
@@ -165,8 +185,16 @@ def reproduce_all(output_dir: Path | str) -> ReproductionBundle:
     # --- manifest -------------------------------------------------------------
     from repro import __version__
 
+    stats = campaign.stats
     manifest = "\n".join(
-        [f"repro {__version__} reproduction bundle", ""] + sorted(written)
+        [
+            f"repro {__version__} reproduction bundle",
+            f"campaign: {stats.n_units} units, {stats.cache_hits} cache "
+            f"hits, {stats.cache_misses} computed, "
+            f"workers={stats.workers}",
+            "",
+        ]
+        + sorted(written)
     )
     _write(root / "MANIFEST.txt", manifest, written, root)
 

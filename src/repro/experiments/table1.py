@@ -39,6 +39,19 @@ class Table1Configuration:
             ("C11 - C16", 10.0),
         )
 
+    def as_config(self) -> dict:
+        """JSON-safe dict of the result-affecting fields.
+
+        This is what campaign cache keys hash (see
+        :func:`repro.parallel.units.unit_cache_key`): the true values
+        and the arrival rate pin every closed-form outcome, so nothing
+        else belongs here.
+        """
+        return {
+            "true_values": [float(v) for v in self.cluster.true_values],
+            "arrival_rate": float(self.arrival_rate),
+        }
+
 
 def table1_configuration() -> Table1Configuration:
     """The paper's system: 16 machines, job arrival rate R = 20/s."""

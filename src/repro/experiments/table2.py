@@ -63,6 +63,19 @@ class Scenario:
         """Whether C1 executes at its true processing rate."""
         return self.execution_factor == 1.0
 
+    def as_config(self) -> dict:
+        """JSON-safe dict of the result-affecting fields.
+
+        The ``characterization`` string is presentation, not behaviour,
+        so it is deliberately excluded — two scenarios that act the
+        same hash the same in campaign cache keys.
+        """
+        return {
+            "name": self.name,
+            "bid_factor": float(self.bid_factor),
+            "execution_factor": float(self.execution_factor),
+        }
+
 
 #: Table 2, in the paper's order.
 PAPER_SCENARIOS: tuple[Scenario, ...] = (

@@ -68,40 +68,13 @@ def _validate_matrix(values: np.ndarray, name: str) -> np.ndarray:
     return values
 
 
-def batch_run(
+def _batch_kernel(
     bids: np.ndarray,
     arrival_rate: float,
-    execution_values: np.ndarray | None = None,
-    *,
-    compensation: str = "observed",
+    execution_values: np.ndarray,
+    compensation: str,
 ) -> BatchOutcome:
-    """Evaluate the verification mechanism at ``K`` profiles at once.
-
-    Parameters
-    ----------
-    bids:
-        Shape ``(K, n)``: one bid vector per row.
-    arrival_rate:
-        Common arrival rate ``R`` for the whole batch.
-    execution_values:
-        Shape ``(K, n)``; defaults to the bids.
-    compensation:
-        ``"observed"`` (Definition 3.3) or ``"declared"`` — the same
-        modes as :class:`~repro.mechanism.VerificationMechanism`.
-    """
-    bids = _validate_matrix(bids, "bids")
-    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
-    if execution_values is None:
-        execution_values = bids
-    else:
-        execution_values = _validate_matrix(execution_values, "execution_values")
-        if execution_values.shape != bids.shape:
-            raise ValueError("execution_values must have the same shape as bids")
-    if compensation not in ("observed", "declared"):
-        raise ValueError("compensation must be 'observed' or 'declared'")
-    if bids.shape[1] < 2:
-        raise ValueError("leave-one-out bonuses require at least two machines")
-
+    """The validated closed-form batch evaluation (one row = one profile)."""
     inv = 1.0 / bids                                   # (K, n)
     total_inv = inv.sum(axis=1, keepdims=True)         # (K, 1)
     loads = arrival_rate * inv / total_inv             # (K, n)
@@ -124,6 +97,84 @@ def batch_run(
         bonus=bonus,
         valuation=valuation,
     )
+
+
+def _kernel_slice(args: tuple) -> BatchOutcome:
+    """Picklable per-chunk worker for the parallel batch path."""
+    bids, arrival_rate, execution_values, compensation = args
+    return _batch_kernel(bids, arrival_rate, execution_values, compensation)
+
+
+def batch_run(
+    bids: np.ndarray,
+    arrival_rate: float,
+    execution_values: np.ndarray | None = None,
+    *,
+    compensation: str = "observed",
+    workers: int = 0,
+    chunk_size: int | None = None,
+) -> BatchOutcome:
+    """Evaluate the verification mechanism at ``K`` profiles at once.
+
+    Parameters
+    ----------
+    bids:
+        Shape ``(K, n)``: one bid vector per row.
+    arrival_rate:
+        Common arrival rate ``R`` for the whole batch.
+    execution_values:
+        Shape ``(K, n)``; defaults to the bids.
+    compensation:
+        ``"observed"`` (Definition 3.3) or ``"declared"`` — the same
+        modes as :class:`~repro.mechanism.VerificationMechanism`.
+    workers:
+        ``> 1`` splits the batch into row chunks and fans them over a
+        process pool via :func:`repro.parallel.parallel_map`.  Rows are
+        independent, so the concatenated result is bit-identical to
+        the serial evaluation.  Worth it only for very large ``K``
+        (the serial kernel already vectorises); default is serial.
+    chunk_size:
+        Rows per chunk when ``workers > 1`` (default: an even split,
+        ``ceil(K / (workers * 4))``).
+    """
+    bids = _validate_matrix(bids, "bids")
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    if execution_values is None:
+        execution_values = bids
+    else:
+        execution_values = _validate_matrix(execution_values, "execution_values")
+        if execution_values.shape != bids.shape:
+            raise ValueError("execution_values must have the same shape as bids")
+    if compensation not in ("observed", "declared"):
+        raise ValueError("compensation must be 'observed' or 'declared'")
+    if bids.shape[1] < 2:
+        raise ValueError("leave-one-out bonuses require at least two machines")
+
+    n_profiles = bids.shape[0]
+    if workers > 1 and n_profiles > 1:
+        from repro.parallel.engine import default_chunk_size, parallel_map
+
+        size = chunk_size or default_chunk_size(n_profiles, workers)
+        tasks = [
+            (
+                bids[start : start + size],
+                arrival_rate,
+                execution_values[start : start + size],
+                compensation,
+            )
+            for start in range(0, n_profiles, size)
+        ]
+        parts = parallel_map(_kernel_slice, tasks, workers=workers, chunk_size=1)
+        return BatchOutcome(
+            loads=np.concatenate([p.loads for p in parts]),
+            realised_latency=np.concatenate(
+                [p.realised_latency for p in parts]
+            ),
+            compensation=np.concatenate([p.compensation for p in parts]),
+            bonus=np.concatenate([p.bonus for p in parts]),
+            valuation=np.concatenate([p.valuation for p in parts]),
+        )
+    return _batch_kernel(bids, arrival_rate, execution_values, compensation)
 
 
 def batch_utility_of_agent(

@@ -1,0 +1,149 @@
+"""Content-addressed result cache for campaign units.
+
+Each entry is one JSON file named by the unit's SHA-256 cache key
+(two-level fan-out: ``<root>/<key[:2]>/<key>.json``), holding an
+envelope of the key, the package version, the unit config it was
+computed from, and the payload.  Content addressing makes staleness
+impossible by construction — a changed config or a new package version
+changes the key, so an old entry can never be served for a new unit;
+old entries simply stop being referenced.
+
+Writes are atomic (temp file + :func:`os.replace` in the same
+directory), so a campaign killed mid-write never leaves a corrupt
+entry a resumed campaign could trip over; a corrupt or truncated file
+is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["NullCache", "ResultCache"]
+
+
+class ResultCache:
+    """Directory-backed content-addressed store of unit payloads."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------- layout
+
+    def path_for(self, key: str) -> Path:
+        """Where an entry with this key lives (whether or not it exists)."""
+        if len(key) < 3:
+            raise ValueError("cache keys must be at least 3 characters")
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------ queries
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        A file that exists but does not parse (torn write from a
+        pre-atomic tool, disk corruption) is deleted and reported as a
+        miss rather than poisoning the campaign.
+        """
+        entry = self.entry(key)
+        if entry is None:
+            return None
+        return entry["payload"]
+
+    def entry(self, key: str) -> dict | None:
+        """The full stored envelope (key, version, unit config, payload)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            envelope = json.loads(text)
+            if not isinstance(envelope, dict) or "payload" not in envelope:
+                raise ValueError("not a cache envelope")
+        except (ValueError, TypeError):
+            path.unlink(missing_ok=True)
+            return None
+        return envelope
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """All stored cache keys (unordered)."""
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("??/*.json"):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------ updates
+
+    def put(
+        self,
+        key: str,
+        payload: dict,
+        *,
+        unit_config: dict | None = None,
+        version: str | None = None,
+    ) -> Path:
+        """Atomically store ``payload`` under ``key``; returns the path."""
+        if version is None:
+            from repro import __version__ as version
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "key": key,
+            "version": version,
+            "unit": unit_config,
+            "payload": payload,
+        }
+        text = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{key[:8]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            self.path_for(key).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+class NullCache:
+    """The ``--no-cache`` cache: never hits, never stores."""
+
+    def get(self, key: str) -> dict | None:
+        return None
+
+    def entry(self, key: str) -> dict | None:
+        return None
+
+    def put(self, key: str, payload: dict, **_: object) -> None:
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0

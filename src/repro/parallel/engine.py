@@ -1,0 +1,350 @@
+"""The campaign engine: fan units across a worker pool, cache results.
+
+``CampaignEngine.run`` takes a list of
+:class:`~repro.parallel.units.ExperimentUnit`, consults the
+content-addressed cache, and evaluates only the missing units — either
+in-process (``workers <= 1``) or across a ``multiprocessing`` pool
+with **chunked scheduling**: units are grouped into chunks of
+``ceil(pending / (workers * 4))`` so each worker receives a few large
+pickles instead of thousands of tiny ones, while the x4 oversubscription
+keeps the pool load-balanced when unit costs are uneven (protocol units
+cost ~1000x scenario units).
+
+Determinism is structural, not statistical: every unit is a pure
+function of its config (workers never share state or RNG streams), and
+results are reassembled in submission order — so a parallel campaign's
+per-unit payloads are bit-identical to a serial run's, regardless of
+completion order.  ``benchmarks/bench_parallel.py`` (A20) asserts this
+on every run.
+
+Observability: the engine opens a ``campaign.run`` span, counts
+``campaign.cache.hits`` / ``campaign.cache.misses``, records per-unit
+wall time into the ``campaign.unit.seconds`` histogram, and collects a
+``campaign.unit`` span per computed unit (stamped with the worker PID)
+that :meth:`CampaignResult.export_worker_spans` writes as JSONL in the
+tracer's schema.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, IO, Iterable, Sequence, TypeVar
+
+from repro.observability.instrumentation import (
+    annotate,
+    observe_value,
+    record_counter,
+    trace_span,
+)
+from repro.parallel.cache import NullCache, ResultCache
+from repro.parallel.units import ExperimentUnit, execute_unit, unit_cache_key
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignResult",
+    "CampaignStats",
+    "default_chunk_size",
+    "parallel_map",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Chunks per worker the scheduler aims for; >1 so uneven unit costs
+#: rebalance, small enough that per-chunk IPC stays negligible.
+OVERSUBSCRIPTION = 4
+
+
+def _pool_context():
+    """``fork`` where the platform offers it (cheap workers that inherit
+    the warmed interpreter), ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Chunk size giving each worker ~``OVERSUBSCRIPTION`` chunks."""
+    if n_items <= 0:
+        return 1
+    workers = max(1, workers)
+    return max(1, math.ceil(n_items / (workers * OVERSUBSCRIPTION)))
+
+
+def _chunked(items: Sequence[T], size: int) -> list[Sequence[T]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+# ----------------------------------------------------- generic pool map
+
+
+def _apply_chunk(args: tuple[Callable, Sequence]) -> list:
+    func, chunk = args
+    return [func(item) for item in chunk]
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
+) -> list[R]:
+    """``[func(x) for x in items]``, fanned across a process pool.
+
+    ``func`` must be a module-level (picklable) function.  With
+    ``workers <= 1`` this is exactly the list comprehension — no pool,
+    no pickling — which is also the fallback the heavy benchmark
+    drivers use when a box has a single core.  Results preserve input
+    order either way.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    workers = min(workers, len(items))
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(items), workers)
+    chunks = _chunked(items, chunk_size)
+    with _pool_context().Pool(processes=workers) as pool:
+        nested = pool.map(_apply_chunk, [(func, chunk) for chunk in chunks])
+    return [result for chunk in nested for result in chunk]
+
+
+# ------------------------------------------------------- campaign engine
+
+
+def _run_chunk(batch: list[tuple[int, dict]]) -> list[dict]:
+    """Worker-side chunk executor: evaluate units, time and trace each.
+
+    Runs in the worker process.  Spans are recorded on a private tracer
+    (workers never see the parent's instrumentation) and shipped back
+    as plain dicts in the JSONL schema.
+    """
+    from repro.observability.tracing import Tracer
+
+    pid = os.getpid()
+    tracer = Tracer()
+    out: list[dict] = []
+    for index, config in batch:
+        unit = ExperimentUnit.from_config(config)
+        start = time.perf_counter()
+        with tracer.span(
+            "campaign.unit",
+            index=index,
+            pid=pid,
+            kind=unit.kind,
+            scenario=unit.scenario,
+            variant=unit.variant,
+            seed=unit.seed,
+        ):
+            payload = execute_unit(unit)
+        out.append(
+            {
+                "index": index,
+                "payload": payload,
+                "seconds": time.perf_counter() - start,
+                "pid": pid,
+            }
+        )
+    spans = [span.to_dict() for span in tracer.finished]
+    for record, span in zip(out, spans):
+        record["span"] = span
+    return out
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        return float("nan")
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """What one :meth:`CampaignEngine.run` cost."""
+
+    n_units: int
+    cache_hits: int
+    cache_misses: int
+    workers: int
+    chunks: int
+    wall_seconds: float
+    unit_seconds: tuple[float, ...]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of units served from the cache."""
+        return self.cache_hits / self.n_units if self.n_units else 0.0
+
+    @property
+    def computed_seconds(self) -> float:
+        """Total compute time across workers (not wall-clock)."""
+        return float(sum(self.unit_seconds))
+
+    @property
+    def unit_p50(self) -> float:
+        """Median per-unit compute latency (seconds; nan if all cached)."""
+        return _quantile(sorted(self.unit_seconds), 0.50)
+
+    @property
+    def unit_p95(self) -> float:
+        """95th-percentile per-unit compute latency (seconds)."""
+        return _quantile(sorted(self.unit_seconds), 0.95)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Ordered unit payloads plus the campaign's cost accounting."""
+
+    units: tuple[ExperimentUnit, ...]
+    keys: tuple[str, ...]
+    payloads: tuple[dict, ...]
+    stats: CampaignStats
+    worker_spans: tuple[dict, ...]
+
+    def payload_for(self, unit: ExperimentUnit) -> dict:
+        """The payload of one submitted unit (by value, not identity)."""
+        return self.payloads[self.units.index(unit)]
+
+    def export_worker_spans(self, destination: str | IO[str]) -> int:
+        """Write per-worker ``campaign.unit`` spans as JSON Lines."""
+        import json
+
+        lines = "".join(
+            json.dumps(span, sort_keys=True) + "\n" for span in self.worker_spans
+        )
+        if hasattr(destination, "write"):
+            destination.write(lines)
+        else:
+            with open(destination, "w", encoding="utf-8") as handle:
+                handle.write(lines)
+        return len(self.worker_spans)
+
+
+class CampaignEngine:
+    """Runs unit lists through the cache and (optionally) a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` evaluates in-process (deterministically identical, no
+        multiprocessing); ``n > 1`` fans missing units over ``n``
+        processes.
+    cache:
+        A :class:`~repro.parallel.cache.ResultCache`, a path (string or
+        ``Path``) to open one at, or ``None`` for no caching.
+    reuse_cache:
+        When ``False`` the engine still *writes* results but never
+        reads them — every unit recomputes (the CLI's ``--no-resume``).
+    chunk_size:
+        Override the ``ceil(pending / (workers * 4))`` default.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        cache: ResultCache | NullCache | str | os.PathLike | None = None,
+        reuse_cache: bool = True,
+        chunk_size: int | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = int(workers)
+        if cache is None:
+            cache = NullCache()
+        elif isinstance(cache, (str, os.PathLike)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.reuse_cache = bool(reuse_cache)
+        self.chunk_size = chunk_size
+
+    def run(self, units: Sequence[ExperimentUnit]) -> CampaignResult:
+        """Evaluate every unit, serving cache hits and computing misses."""
+        units = tuple(units)
+        started = time.perf_counter()
+        keys = tuple(unit_cache_key(unit) for unit in units)
+        payloads: list[dict | None] = [None] * len(units)
+        unit_seconds: list[float] = []
+        worker_spans: list[dict] = []
+        hits = 0
+
+        with trace_span("campaign.run", n_units=len(units), workers=self.workers):
+            pending: list[tuple[int, dict]] = []
+            for index, (unit, key) in enumerate(zip(units, keys)):
+                cached = self.cache.get(key) if self.reuse_cache else None
+                if cached is not None:
+                    payloads[index] = cached
+                    hits += 1
+                    record_counter("campaign.cache.hits")
+                else:
+                    pending.append((index, unit.as_config()))
+            record_counter("campaign.cache.misses", len(pending))
+
+            chunks: list[Sequence[tuple[int, dict]]] = []
+            if pending:
+                chunks = self._compute(pending, units, keys, payloads,
+                                       unit_seconds, worker_spans)
+
+        stats = CampaignStats(
+            n_units=len(units),
+            cache_hits=hits,
+            cache_misses=len(units) - hits,
+            workers=self.workers,
+            chunks=len(chunks),
+            wall_seconds=time.perf_counter() - started,
+            unit_seconds=tuple(unit_seconds),
+        )
+        return CampaignResult(
+            units=units,
+            keys=keys,
+            payloads=tuple(payloads),  # type: ignore[arg-type]
+            stats=stats,
+            worker_spans=tuple(worker_spans),
+        )
+
+    # ------------------------------------------------------------ internal
+
+    def _compute(
+        self,
+        pending: list[tuple[int, dict]],
+        units: tuple[ExperimentUnit, ...],
+        keys: tuple[str, ...],
+        payloads: list[dict | None],
+        unit_seconds: list[float],
+        worker_spans: list[dict],
+    ) -> list[Sequence[tuple[int, dict]]]:
+        workers = min(self.workers, len(pending))
+        chunk_size = self.chunk_size or default_chunk_size(len(pending), workers)
+        chunks = _chunked(pending, chunk_size)
+
+        if workers <= 1:
+            # In-process: same chunk walk, ambient tracer, no pool.
+            results = [_run_chunk(list(chunk)) for chunk in chunks]
+        else:
+            with _pool_context().Pool(processes=workers) as pool:
+                results = list(pool.imap_unordered(_run_chunk, chunks))
+
+        for chunk_result in results:
+            pids = sorted({record["pid"] for record in chunk_result})
+            annotate("campaign.chunk", units=len(chunk_result), pids=pids)
+            for record in chunk_result:
+                index = record["index"]
+                payloads[index] = record["payload"]
+                unit_seconds.append(record["seconds"])
+                observe_value("campaign.unit.seconds", record["seconds"])
+                worker_spans.append(record["span"])
+                self.cache.put(
+                    keys[index],
+                    record["payload"],
+                    unit_config=units[index].as_config(),
+                )
+        return chunks

@@ -1,0 +1,302 @@
+"""Experiment units and their content-addressed cache keys.
+
+A *unit* is the atom the campaign engine schedules: one
+(seed x bid-profile x mechanism-variant) evaluation, either closed-form
+(``kind="scenario"``) or over the discrete-event protocol
+(``kind="protocol"``).  Units are plain frozen dataclasses so they
+pickle cheaply across worker processes, and :func:`execute_unit` is a
+**pure function** of the unit — the same unit always produces the same
+payload, byte for byte, which is what makes both the parallel/serial
+equivalence guarantee and the result cache sound.
+
+The cache key is ``SHA-256(canonical JSON of the unit config + the
+package version)``.  Canonicalisation (:func:`canonical_json`) sorts
+dict keys, converts NumPy scalars and arrays to plain Python numbers
+and lists, and normalises ``-0.0`` to ``0.0`` — so dict insertion
+order and NumPy dtype width never change the key, while any change to
+a result-affecting field always does.  Fields that cannot affect the
+result (the seed and window of a closed-form unit) are excluded from
+the canonical config, so equivalent units share one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+__all__ = [
+    "ExperimentUnit",
+    "canonical_config",
+    "canonical_json",
+    "canonicalise",
+    "execute_unit",
+    "unit_cache_key",
+]
+
+_KINDS = ("scenario", "protocol")
+_VARIANTS = ("observed", "declared", "vcg", "archer-tardos")
+
+
+@dataclass(frozen=True)
+class ExperimentUnit:
+    """One schedulable experiment: a bid profile under one mechanism.
+
+    Attributes
+    ----------
+    kind:
+        ``"scenario"`` — closed-form mechanism evaluation;
+        ``"protocol"`` — one seeded discrete-event protocol round.
+    scenario:
+        Label for grouping results (usually a Table 2 name).
+    bid_factor, execution_factor:
+        The manipulator's declared and actual behaviour, as multiples
+        of its true value (Table 2 semantics).
+    true_values:
+        Per-machine true processing values ``t_i``.
+    arrival_rate:
+        Total job arrival rate ``R``.
+    variant:
+        Payment rule: ``observed`` / ``declared``
+        (:class:`~repro.mechanism.VerificationMechanism`), ``vcg``, or
+        ``archer-tardos``.
+    seed:
+        RNG seed for protocol units (ignored by scenario units).
+    manipulator:
+        Index of the machine the factors apply to (C1 by default).
+    duration:
+        Job-generation window of a protocol unit (simulated seconds).
+    """
+
+    kind: str
+    scenario: str
+    bid_factor: float
+    execution_factor: float
+    true_values: tuple[float, ...]
+    arrival_rate: float
+    variant: str = "observed"
+    seed: int = 0
+    manipulator: int = 0
+    duration: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.variant not in _VARIANTS:
+            raise ValueError(
+                f"variant must be one of {_VARIANTS}, got {self.variant!r}"
+            )
+        values = tuple(float(t) for t in self.true_values)
+        if len(values) < 2:
+            raise ValueError("true_values needs at least two machines")
+        if any(t <= 0.0 for t in values):
+            raise ValueError("true_values must be strictly positive")
+        object.__setattr__(self, "true_values", values)
+        if self.bid_factor <= 0.0:
+            raise ValueError("bid_factor must be positive")
+        if self.execution_factor < 1.0:
+            raise ValueError("execution_factor must be >= 1")
+        if self.arrival_rate <= 0.0:
+            raise ValueError("arrival_rate must be positive")
+        if not 0 <= self.manipulator < len(values):
+            raise ValueError("manipulator out of range")
+        if self.duration <= 0.0:
+            raise ValueError("duration must be positive")
+
+    def as_config(self) -> dict:
+        """The result-affecting fields, as a canonicalisable dict.
+
+        Scenario units are deterministic closed forms, so their
+        ``seed`` and ``duration`` are dropped: two such units that can
+        only produce identical payloads share one cache key.
+        """
+        config = {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "bid_factor": self.bid_factor,
+            "execution_factor": self.execution_factor,
+            "true_values": list(self.true_values),
+            "arrival_rate": self.arrival_rate,
+            "variant": self.variant,
+            "manipulator": self.manipulator,
+        }
+        if self.kind == "protocol":
+            config["seed"] = self.seed
+            config["duration"] = self.duration
+        return config
+
+    @classmethod
+    def from_config(cls, config: dict) -> "ExperimentUnit":
+        """Rebuild a unit from :meth:`as_config` output (worker side)."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in config.items() if k in known}
+        kwargs["true_values"] = tuple(kwargs["true_values"])
+        return cls(**kwargs)
+
+
+# --------------------------------------------------------- canonical form
+
+
+def canonicalise(value: object) -> object:
+    """Reduce ``value`` to a canonical JSON-compatible structure.
+
+    Mappings are sorted by key, sequences become lists, NumPy arrays
+    and scalars become plain Python numbers (dtype width is erased:
+    ``np.int32(5)`` and ``np.int64(5)`` canonicalise identically), and
+    negative zero is normalised so ``-0.0`` and ``0.0`` share a key.
+    """
+    if isinstance(value, dict):
+        return {
+            str(key): canonicalise(value[key])
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, np.ndarray):
+        return canonicalise(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return [canonicalise(item) for item in value]
+    if isinstance(value, np.generic):
+        return canonicalise(value.item())
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError("unit configs must not contain NaN or infinity")
+        return value + 0.0 if value != 0.0 else 0.0
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for a cache key")
+
+
+def canonical_json(value: object) -> str:
+    """Canonical compact JSON: the byte string the cache key hashes."""
+    return json.dumps(
+        canonicalise(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def canonical_config(unit: ExperimentUnit) -> dict:
+    """Canonical form of a unit's result-affecting config."""
+    return canonicalise(unit.as_config())  # type: ignore[return-value]
+
+
+def unit_cache_key(unit: ExperimentUnit, *, version: str | None = None) -> str:
+    """SHA-256 hex key of the unit config plus the package version.
+
+    The version is part of the key so a new release never serves
+    results computed by old code.
+    """
+    if version is None:
+        from repro import __version__ as version
+    envelope = {"config": unit.as_config(), "version": version}
+    return hashlib.sha256(canonical_json(envelope).encode("utf-8")).hexdigest()
+
+
+# -------------------------------------------------------------- execution
+
+
+def _mechanism_for(variant: str):
+    from repro.mechanism import (
+        ArcherTardosMechanism,
+        VCGMechanism,
+        VerificationMechanism,
+    )
+
+    if variant in ("observed", "declared"):
+        return VerificationMechanism(variant)
+    if variant == "vcg":
+        return VCGMechanism()
+    return ArcherTardosMechanism()
+
+
+def _profile(unit: ExperimentUnit) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    true_values = np.asarray(unit.true_values, dtype=np.float64)
+    bids = true_values.copy()
+    executions = true_values.copy()
+    bids[unit.manipulator] *= unit.bid_factor
+    executions[unit.manipulator] *= unit.execution_factor
+    return true_values, bids, executions
+
+
+def _payload_from_outcome(outcome) -> dict:
+    """JSON-safe per-unit result.
+
+    Every float passes through ``repr`` on the way into JSON and back,
+    which round-trips IEEE doubles exactly — a cached payload is
+    bit-identical to a freshly computed one.
+    """
+    payments = outcome.payments
+    return {
+        "bids": outcome.allocation.bids.tolist(),
+        "execution_values": outcome.execution_values.tolist(),
+        "loads": outcome.loads.tolist(),
+        "declared_latency": float(outcome.allocation.total_latency),
+        "realised_latency": float(outcome.realised_latency),
+        "compensation": payments.compensation.tolist(),
+        "bonus": payments.bonus.tolist(),
+        "valuation": payments.valuation.tolist(),
+        "payment": payments.payment.tolist(),
+        "utility": payments.utility.tolist(),
+        "frugality_ratio": float(outcome.frugality_ratio),
+    }
+
+
+def _execute_scenario(unit: ExperimentUnit) -> dict:
+    true_values, bids, executions = _profile(unit)
+    mechanism = _mechanism_for(unit.variant)
+    outcome = mechanism.run(
+        bids, unit.arrival_rate, executions, true_values=true_values
+    )
+    return _payload_from_outcome(outcome)
+
+
+def _execute_protocol(unit: ExperimentUnit) -> dict:
+    from repro.agents import ManipulativeAgent, TruthfulAgent
+    from repro.protocol import run_protocol
+
+    truthful = unit.bid_factor == 1.0 and unit.execution_factor == 1.0
+    agents = [TruthfulAgent(t) for t in unit.true_values]
+    if not truthful:
+        agents[unit.manipulator] = ManipulativeAgent(
+            unit.true_values[unit.manipulator],
+            unit.bid_factor,
+            unit.execution_factor,
+        )
+    mechanism = None if unit.variant == "observed" else _mechanism_for(unit.variant)
+    result = run_protocol(
+        agents,
+        unit.arrival_rate,
+        duration=unit.duration,
+        mechanism=mechanism,
+        rng=np.random.default_rng(unit.seed),
+    )
+
+    payload = _payload_from_outcome(result.outcome)
+    error = result.estimation_relative_error
+    payload.update(
+        {
+            "jobs_routed": int(result.jobs_routed),
+            "total_messages": int(result.network.total_messages),
+            "simulated_time": float(result.simulated_time),
+            "true_execution_values": result.true_execution_values.tolist(),
+            "estimated_execution_values":
+                result.estimated_execution_values.tolist(),
+            "estimation_error": [
+                None if e != e else float(e) for e in error.tolist()
+            ],
+        }
+    )
+    return payload
+
+
+def execute_unit(unit: ExperimentUnit) -> dict:
+    """Evaluate one unit; pure, deterministic, and process-independent.
+
+    Scenario units run the closed-form mechanism; protocol units run
+    one full discrete-event round seeded from ``unit.seed``.  The
+    returned payload contains only JSON-safe scalars and lists, so it
+    survives both pickling to a worker and a cache round-trip without
+    losing a bit.
+    """
+    if unit.kind == "scenario":
+        return _execute_scenario(unit)
+    return _execute_protocol(unit)

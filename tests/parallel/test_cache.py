@@ -1,0 +1,100 @@
+"""The content-addressed result cache: layout, atomicity, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.parallel.cache import NullCache, ResultCache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestLayout:
+    def test_two_level_fanout(self, cache):
+        path = cache.path_for(KEY)
+        assert path.parent.name == KEY[:2]
+        assert path.name == f"{KEY}.json"
+
+    def test_short_keys_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.path_for("ab")
+
+
+class TestRoundTrip:
+    def test_get_miss_returns_none(self, cache):
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+        assert len(cache) == 0
+
+    def test_put_then_get(self, cache):
+        payload = {"realised_latency": 78.43, "loads": [1.0, 2.0]}
+        cache.put(KEY, payload, unit_config={"kind": "scenario"})
+        assert cache.get(KEY) == payload
+        assert KEY in cache
+        assert list(cache.keys()) == [KEY]
+
+    def test_envelope_records_provenance(self, cache):
+        cache.put(KEY, {"x": 1}, unit_config={"kind": "scenario"},
+                  version="9.9.9")
+        envelope = cache.entry(KEY)
+        assert envelope["key"] == KEY
+        assert envelope["version"] == "9.9.9"
+        assert envelope["unit"] == {"kind": "scenario"}
+
+    def test_floats_round_trip_exactly(self, cache):
+        values = [0.1, 1 / 3, 2**-52, 1e300, 78.43]
+        cache.put(KEY, {"values": values})
+        assert cache.get(KEY)["values"] == values
+
+    def test_overwrite_replaces(self, cache):
+        cache.put(KEY, {"v": 1})
+        cache.put(KEY, {"v": 2})
+        assert cache.get(KEY) == {"v": 2}
+        assert len(cache) == 1
+
+    def test_clear_removes_everything(self, cache):
+        cache.put(KEY, {"v": 1})
+        cache.put(OTHER, {"v": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert not path.exists()
+
+    def test_non_envelope_json_is_a_miss(self, cache):
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        assert cache.get(KEY) is None
+        assert not path.exists()
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(KEY, {"v": 1})
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestNullCache:
+    def test_never_stores(self):
+        cache = NullCache()
+        cache.put(KEY, {"v": 1})
+        assert cache.get(KEY) is None
+        assert cache.entry(KEY) is None
+        assert KEY not in cache
+        assert len(cache) == 0

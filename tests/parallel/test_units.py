@@ -1,0 +1,149 @@
+"""Unit config, canonicalisation, cache keys, and pure execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import run_scenario
+from repro.experiments.table1 import table1_configuration
+from repro.experiments.table2 import scenario_by_name
+from repro.parallel.units import (
+    ExperimentUnit,
+    canonical_json,
+    canonicalise,
+    execute_unit,
+    unit_cache_key,
+)
+
+
+def paper_unit(**overrides) -> ExperimentUnit:
+    config = table1_configuration()
+    kwargs = dict(
+        kind="scenario",
+        scenario="True1",
+        bid_factor=1.0,
+        execution_factor=1.0,
+        true_values=tuple(config.cluster.true_values.tolist()),
+        arrival_rate=config.arrival_rate,
+    )
+    kwargs.update(overrides)
+    return ExperimentUnit(**kwargs)
+
+
+class TestExperimentUnit:
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            paper_unit(kind="nope")
+        with pytest.raises(ValueError):
+            paper_unit(variant="nope")
+        with pytest.raises(ValueError):
+            paper_unit(true_values=(1.0,))
+        with pytest.raises(ValueError):
+            paper_unit(true_values=(1.0, -2.0))
+        with pytest.raises(ValueError):
+            paper_unit(bid_factor=0.0)
+        with pytest.raises(ValueError):
+            paper_unit(execution_factor=0.5)
+        with pytest.raises(ValueError):
+            paper_unit(arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            paper_unit(manipulator=99)
+        with pytest.raises(ValueError):
+            paper_unit(kind="protocol", duration=0.0)
+
+    def test_config_round_trip(self):
+        unit = paper_unit(kind="protocol", seed=7, duration=55.0)
+        assert ExperimentUnit.from_config(unit.as_config()) == unit
+
+    def test_scenario_config_drops_seed_and_duration(self):
+        a = paper_unit(seed=0, duration=200.0)
+        b = paper_unit(seed=99, duration=10.0)
+        assert a.as_config() == b.as_config()
+        assert unit_cache_key(a) == unit_cache_key(b)
+
+    def test_protocol_config_keeps_seed_and_duration(self):
+        a = paper_unit(kind="protocol", seed=0)
+        b = paper_unit(kind="protocol", seed=1)
+        assert unit_cache_key(a) != unit_cache_key(b)
+
+
+class TestCanonicalise:
+    def test_dict_order_is_erased(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_numpy_width_is_erased(self):
+        assert canonicalise(np.int32(5)) == canonicalise(np.int64(5)) == 5
+        assert canonicalise(np.float32(0.5)) == canonicalise(np.float64(0.5))
+
+    def test_arrays_and_tuples_become_lists(self):
+        assert canonicalise(np.array([1.0, 2.0])) == [1.0, 2.0]
+        assert canonicalise((1, 2)) == [1, 2]
+
+    def test_negative_zero_normalised(self):
+        assert canonical_json(-0.0) == canonical_json(0.0)
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                canonicalise(bad)
+
+    def test_unhashable_types_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalise(object())
+
+
+class TestCacheKey:
+    def test_key_is_hex_sha256(self):
+        key = unit_cache_key(paper_unit())
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_version_is_part_of_the_key(self):
+        unit = paper_unit()
+        assert unit_cache_key(unit, version="1.0.0") != unit_cache_key(
+            unit, version="1.0.1"
+        )
+
+    def test_any_result_affecting_field_changes_the_key(self):
+        base = unit_cache_key(paper_unit())
+        assert unit_cache_key(paper_unit(bid_factor=3.0)) != base
+        assert unit_cache_key(paper_unit(execution_factor=2.0)) != base
+        assert unit_cache_key(paper_unit(variant="vcg")) != base
+        assert unit_cache_key(paper_unit(arrival_rate=21.0)) != base
+        assert unit_cache_key(paper_unit(manipulator=1)) != base
+
+
+class TestExecuteUnit:
+    def test_scenario_payload_matches_inline_run(self):
+        config = table1_configuration()
+        for name in ("True1", "High1", "Low2"):
+            scenario = scenario_by_name(name)
+            unit = paper_unit(
+                scenario=name,
+                bid_factor=scenario.bid_factor,
+                execution_factor=scenario.execution_factor,
+            )
+            payload = execute_unit(unit)
+            record = run_scenario(scenario, config)
+            assert payload["realised_latency"] == record.outcome.realised_latency
+            assert payload["payment"] == record.outcome.payments.payment.tolist()
+            assert payload["utility"] == record.outcome.payments.utility.tolist()
+
+    def test_execution_is_deterministic(self):
+        unit = paper_unit(kind="protocol", seed=3, duration=20.0)
+        assert execute_unit(unit) == execute_unit(unit)
+
+    def test_protocol_payload_has_des_fields(self):
+        payload = execute_unit(paper_unit(kind="protocol", duration=20.0))
+        assert payload["jobs_routed"] > 0
+        assert payload["total_messages"] > 0
+        assert len(payload["estimated_execution_values"]) == 16
+
+    def test_payload_is_json_safe(self):
+        import json
+
+        payload = execute_unit(paper_unit(kind="protocol", duration=20.0))
+        assert json.loads(json.dumps(payload)) == payload

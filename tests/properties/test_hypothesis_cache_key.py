@@ -1,0 +1,157 @@
+"""Property-based guarantees for the campaign cache key.
+
+The key must be *stable* under representational noise (dict insertion
+order, NumPy dtype width, negative zero) and *sensitive* to any change
+of a result-affecting field — together these are exactly "a cache hit
+is never stale".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.units import (
+    ExperimentUnit,
+    canonical_json,
+    canonicalise,
+    unit_cache_key,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(-(2**40), 2**40), finite_floats,
+    st.text(max_size=12),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def shuffled(value, rng):
+    """A deep copy with every dict's insertion order randomised."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {k: shuffled(value[k], rng) for k in keys}
+    if isinstance(value, list):
+        return [shuffled(item, rng) for item in value]
+    return value
+
+
+def make_unit(**overrides) -> ExperimentUnit:
+    kwargs = dict(
+        kind="protocol",
+        scenario="True1",
+        bid_factor=1.0,
+        execution_factor=1.0,
+        true_values=(1.0, 2.0, 5.0),
+        arrival_rate=10.0,
+        seed=0,
+        duration=50.0,
+    )
+    kwargs.update(overrides)
+    return ExperimentUnit(**kwargs)
+
+
+class TestKeyStability:
+    @settings(max_examples=200)
+    @given(value=json_values, reorder_seed=st.integers(0, 2**31))
+    def test_dict_order_never_changes_canonical_json(self, value, reorder_seed):
+        rng = np.random.default_rng(reorder_seed)
+        assert canonical_json(shuffled(value, rng)) == canonical_json(value)
+
+    @settings(max_examples=200)
+    @given(value=st.integers(-(2**31), 2**31 - 1))
+    def test_integer_dtype_width_never_changes_the_key(self, value):
+        assert (
+            canonicalise(np.int32(value))
+            == canonicalise(np.int64(value))
+            == canonicalise(value)
+        )
+
+    @settings(max_examples=200)
+    @given(
+        mantissa=st.integers(-(2**23), 2**23), exponent=st.integers(-10, 10)
+    )
+    def test_float_dtype_width_never_changes_the_key(self, mantissa, exponent):
+        # Dyadic rationals in float32 range are exactly representable in
+        # both widths, so the canonical form must not depend on dtype.
+        value = float(mantissa) * 2.0**exponent
+        assert (
+            canonicalise(np.float32(value))
+            == canonicalise(np.float64(value))
+            == canonicalise(value)
+        )
+
+    @settings(max_examples=100)
+    @given(
+        true_values=st.lists(
+            st.floats(min_value=0.5, max_value=50.0), min_size=2, max_size=6
+        ),
+        rate=st.floats(min_value=0.1, max_value=100.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_key_is_reproducible(self, true_values, rate, seed):
+        a = make_unit(
+            true_values=tuple(true_values), arrival_rate=rate, seed=seed
+        )
+        b = make_unit(
+            true_values=tuple(np.asarray(true_values, dtype=np.float64)),
+            arrival_rate=np.float64(rate),
+            seed=np.int64(seed),
+        )
+        assert unit_cache_key(a) == unit_cache_key(b)
+
+
+class TestKeySensitivity:
+    @settings(max_examples=100)
+    @given(
+        seed=st.integers(0, 1000),
+        other_seed=st.integers(0, 1000),
+        duration=st.floats(min_value=1.0, max_value=500.0),
+        bid_factor=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_changed_field_changes_key(
+        self, seed, other_seed, duration, bid_factor
+    ):
+        base = make_unit(seed=seed)
+        assert (unit_cache_key(make_unit(seed=other_seed))
+                == unit_cache_key(base)) == (seed == other_seed)
+        if duration != base.duration:
+            assert unit_cache_key(make_unit(seed=seed, duration=duration)) \
+                != unit_cache_key(base)
+        if bid_factor != base.bid_factor:
+            assert unit_cache_key(
+                make_unit(seed=seed, bid_factor=bid_factor)
+            ) != unit_cache_key(base)
+
+    @settings(max_examples=50)
+    @given(
+        seed=st.integers(0, 100),
+        new_rate=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_cache_hit_never_stale_after_config_change(
+        self, tmp_path_factory, seed, new_rate
+    ):
+        # Store a payload under the original unit's key; any config
+        # change must produce a key the cache has never seen.
+        cache = ResultCache(
+            tmp_path_factory.mktemp("hypothesis-cache") / "c"
+        )
+        unit = make_unit(seed=seed)
+        cache.put(unit_cache_key(unit), {"realised_latency": 1.0})
+        changed = make_unit(seed=seed, arrival_rate=new_rate)
+        if changed.as_config() != unit.as_config():
+            assert cache.get(unit_cache_key(changed)) is None
+        else:
+            assert cache.get(unit_cache_key(changed)) is not None

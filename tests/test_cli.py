@@ -191,6 +191,97 @@ class TestMetrics:
         assert "supervisor.round" in names
 
 
+class TestCampaign:
+    @pytest.mark.parametrize(
+        "argv",
+        [["campaign", "--seeds", "-1"], ["campaign", "--duration", "0"]],
+    )
+    def test_bad_arguments_error_cleanly(self, capsys, argv):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+
+    def test_cold_run_reports_misses_and_figure1(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, "campaign", "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert "0 / 8" in out          # hits / misses
+        assert "78.43" in out          # True1 optimum
+        assert "Low2" in out
+
+    def test_warm_run_is_all_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_cli(capsys, "campaign", "--cache-dir", cache)
+        out = run_cli(capsys, "campaign", "--cache-dir", cache)
+        assert "8 / 0" in out
+        assert "100.0%" in out
+
+    def test_no_resume_recomputes(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_cli(capsys, "campaign", "--cache-dir", cache)
+        out = run_cli(capsys, "campaign", "--cache-dir", cache, "--no-resume")
+        assert "0 / 8" in out
+        assert "refresh" in out
+
+    def test_no_cache_runs_without_directory(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = run_cli(capsys, "campaign", "--no-cache")
+        assert "disabled" in out
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_seeds_add_protocol_units(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, "campaign", "--cache-dir", str(tmp_path / "c"),
+            "--seeds", "1", "--duration", "20",
+        )
+        assert "0 / 16" in out
+
+    def test_json_payloads_parse(self, capsys, tmp_path):
+        import json
+
+        out = run_cli(
+            capsys, "campaign", "--no-cache", "--json",
+        )
+        data = json.loads(out)
+        assert data["n_units"] == 8
+        assert len(data["payloads"]) == 8
+        assert len(data["keys"][0]) == 64
+        assert round(data["payloads"][0]["realised_latency"], 2) == 78.43
+
+    def test_trace_exports_worker_spans(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "spans.jsonl"
+        out = run_cli(
+            capsys, "campaign", "--no-cache", "--trace", str(path),
+        )
+        assert str(path) in out
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8
+        assert json.loads(lines[0])["name"] == "campaign.unit"
+
+    def test_metrics_campaign_mode_shows_cache_counters(self, capsys):
+        import json
+
+        out = run_cli(
+            capsys, "metrics", "--campaign", "--duration", "20", "--json",
+        )
+        snapshot = json.loads(out)
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        assert counters["campaign.cache.hits"] == 16
+        assert counters["campaign.cache.misses"] == 16
+
+    def test_reproduce_accepts_engine_flags(self, capsys, tmp_path):
+        out = run_cli(
+            capsys, "reproduce",
+            "--output", str(tmp_path / "bundle"),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert "all claims PASS" in out
+        assert (tmp_path / "cache").is_dir()
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,9 +1,9 @@
 """Documentation integrity: doctested snippets and intra-repo links.
 
-``docs/api.md`` promises that every snippet on the page runs; this
-module keeps that promise enforced by the regular test suite, and runs
-the same link check CI's docs job performs via
-``tools/check_links.py``.
+``docs/api.md`` and ``docs/handbook.md`` promise that every snippet on
+the page runs; this module keeps that promise enforced by the regular
+test suite, and runs the same link + anchor check CI's docs job
+performs via ``tools/check_links.py``.
 """
 
 from __future__ import annotations
@@ -12,7 +12,18 @@ import doctest
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _tools():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_links
+    finally:
+        sys.path.pop(0)
+    return check_links
 
 
 class TestApiReference:
@@ -33,20 +44,97 @@ class TestApiReference:
             "repro.protocol",
             "repro.resilience",
             "repro.observability",
+            "repro.parallel",
         ):
             assert f"`{section}`" in text, f"docs/api.md lacks a {section} section"
 
 
+class TestHandbook:
+    def test_every_snippet_runs(self):
+        results = doctest.testfile(
+            str(REPO_ROOT / "docs" / "handbook.md"),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.attempted > 10, "docs/handbook.md lost its snippets"
+        assert results.failed == 0
+
+    def test_handbook_covers_every_ablation_bench(self):
+        text = (REPO_ROOT / "docs" / "handbook.md").read_text()
+        for bench in sorted(REPO_ROOT.glob("benchmarks/bench_*.py")):
+            assert bench.name in text, (
+                f"docs/handbook.md does not document {bench.name}"
+            )
+
+    def test_handbook_reproduces_the_optimum(self):
+        text = (REPO_ROOT / "docs" / "handbook.md").read_text()
+        assert "78.43" in text, "handbook lost the L* reproduction"
+
+
 class TestIntraRepoLinks:
     def test_no_broken_markdown_links(self):
-        sys.path.insert(0, str(REPO_ROOT / "tools"))
-        try:
-            from check_links import broken_links
-        finally:
-            sys.path.pop(0)
+        broken_links = _tools().broken_links
         failures = broken_links(REPO_ROOT)
         formatted = [
             f"{path.relative_to(REPO_ROOT)}:{lineno}: {target}"
             for path, lineno, target in failures
         ]
         assert not failures, "broken intra-repo links:\n" + "\n".join(formatted)
+
+
+class TestAnchorValidation:
+    """The link checker's GitHub-slug anchor machinery."""
+
+    @pytest.mark.parametrize(
+        ("heading", "slug"),
+        [
+            ("Quick start", "quick-start"),
+            ("`repro.parallel` — campaigns", "reproparallel--campaigns"),
+            ("What's new in 1.3?", "whats-new-in-13"),
+            ("A20 — `bench_parallel.py`", "a20--bench_parallelpy"),
+            ("[linked](other.md) heading", "linked-heading"),
+        ],
+    )
+    def test_github_slug(self, heading, slug):
+        assert _tools().github_slug(heading) == slug
+
+    def test_duplicate_headings_deduplicated(self):
+        github_slug = _tools().github_slug
+        seen: dict[str, int] = {}
+        assert github_slug("Results", seen) == "results"
+        assert github_slug("Results", seen) == "results-1"
+        assert github_slug("Results", seen) == "results-2"
+
+    def test_fenced_code_headings_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Real\n```bash\n# not a heading\n```\n## Also real\n",
+            encoding="utf-8",
+        )
+        assert _tools().markdown_anchors(doc) == {"real", "also-real"}
+
+    def test_broken_anchor_reported(self, tmp_path):
+        (tmp_path / "target.md").write_text("# Only Section\n", encoding="utf-8")
+        (tmp_path / "source.md").write_text(
+            "[ok](target.md#only-section)\n"
+            "[bad](target.md#missing-section)\n"
+            "[self-ok](#local)\n\n## Local\n",
+            encoding="utf-8",
+        )
+        failures = _tools().broken_links(tmp_path)
+        targets = [target for _, _, target in failures]
+        assert targets == ["target.md#missing-section"]
+
+    def test_broken_self_anchor_reported(self, tmp_path):
+        (tmp_path / "doc.md").write_text(
+            "[gone](#nowhere)\n\n# Here\n", encoding="utf-8"
+        )
+        failures = _tools().broken_links(tmp_path)
+        assert [t for _, _, t in failures] == ["#nowhere"]
+
+    def test_anchor_to_non_markdown_file_skipped(self, tmp_path):
+        (tmp_path / "script.py").write_text("print()\n", encoding="utf-8")
+        (tmp_path / "doc.md").write_text(
+            "[code](script.py#L3)\n", encoding="utf-8"
+        )
+        assert _tools().broken_links(tmp_path) == []

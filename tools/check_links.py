@@ -3,10 +3,17 @@
 
 Scans every ``*.md`` under the repo root (skipping ``.git`` and other
 dot-directories), extracts inline Markdown links and images, and checks
-that every *relative* target resolves to an existing file or directory.
-External links (``http://``, ``https://``, ``mailto:``) and pure
-anchors (``#section``) are ignored — this tool guards the links we can
-verify offline, not the internet.
+
+* that every *relative* target resolves to an existing file or
+  directory, and
+* that every anchor fragment (``file.md#section`` or a same-file
+  ``#section``) names a heading that actually exists in the target
+  file, using GitHub's slug rules (lowercase, punctuation stripped,
+  spaces to hyphens, ``-1``/``-2`` suffixes for duplicates; headings
+  inside fenced code blocks don't count).
+
+External links (``http://``, ``https://``, ``mailto:``) are ignored —
+this tool guards the links we can verify offline, not the internet.
 
 Usage::
 
@@ -28,7 +35,55 @@ from pathlib import Path
 # definitions are rare in this repo and intentionally out of scope.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(\s*)(```|~~~)")
+_MD_INLINE_LINK = re.compile(r"!?\[([^\]]*)\]\([^)]*\)")
+
 _EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str, seen: dict[str, int] | None = None) -> str:
+    """The anchor GitHub generates for a heading's text.
+
+    Inline code ticks and link syntax are stripped, the text is
+    lowercased, everything but word characters, hyphens, and spaces is
+    removed, and spaces become hyphens.  Pass the same ``seen`` dict
+    for every heading of one document to get GitHub's ``-1``/``-2``
+    deduplication.
+    """
+    text = _MD_INLINE_LINK.sub(r"\1", heading)  # keep link text only
+    text = text.replace("`", "")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    if seen is None:
+        return slug
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def markdown_anchors(path: Path) -> set[str]:
+    """Every heading anchor a Markdown file exposes (GitHub slugs)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    fence_marker = ""
+    for line in path.read_text(encoding="utf-8").splitlines():
+        fence = _FENCE.match(line)
+        if fence:
+            if not in_fence:
+                in_fence = True
+                fence_marker = fence.group(2)
+            elif fence.group(2) == fence_marker:
+                in_fence = False
+            continue
+        if in_fence:
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            anchors.add(github_slug(heading.group(2), seen))
+    return anchors
 
 
 def iter_markdown_files(root: Path) -> list[Path]:
@@ -41,22 +96,39 @@ def iter_markdown_files(root: Path) -> list[Path]:
 
 
 def broken_links(root: Path) -> list[tuple[Path, int, str]]:
-    """All unresolvable relative link targets as (file, line, target)."""
+    """All unresolvable relative link targets as (file, line, target).
+
+    A target is broken when its path does not exist *or* when its
+    ``#fragment`` names no heading in the (Markdown) file it points to.
+    """
     failures: list[tuple[Path, int, str]] = []
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors_of(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = markdown_anchors(path)
+        return anchor_cache[path]
+
     for markdown in iter_markdown_files(root):
         for lineno, line in enumerate(
             markdown.read_text(encoding="utf-8").splitlines(), start=1
         ):
             for match in _LINK.finditer(line):
                 target = match.group(1)
-                if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                if target.startswith(_EXTERNAL_PREFIXES):
                     continue
-                path_part = target.split("#", 1)[0]
-                if not path_part:
-                    continue
-                resolved = (markdown.parent / path_part).resolve()
+                path_part, _, fragment = target.partition("#")
+                resolved = (
+                    (markdown.parent / path_part).resolve()
+                    if path_part
+                    else markdown.resolve()
+                )
                 if not resolved.exists():
                     failures.append((markdown, lineno, target))
+                    continue
+                if fragment and resolved.suffix == ".md":
+                    if fragment.lower() not in anchors_of(resolved):
+                        failures.append((markdown, lineno, target))
     return failures
 
 
