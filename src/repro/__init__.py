@@ -67,6 +67,8 @@ from repro.agents import (
     ScaledBidder,
     SlowExecutor,
     best_response,
+    best_response_fast,
+    BestResponseDynamics,
     BiddingGame,
 )
 from repro.system import Cluster, paper_cluster, random_cluster, grouped_cluster
@@ -90,7 +92,7 @@ from repro.experiments import (
     figure6_truthful_structure,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AllocationResult",
@@ -119,6 +121,8 @@ __all__ = [
     "ScaledBidder",
     "SlowExecutor",
     "best_response",
+    "best_response_fast",
+    "BestResponseDynamics",
     "BiddingGame",
     "Cluster",
     "paper_cluster",

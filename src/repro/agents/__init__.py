@@ -9,6 +9,9 @@ slope) and an *execution value* (the slope they actually run at,
   experiments and the protocol simulation;
 * :mod:`repro.agents.best_response` — numeric best response of a single
   agent to the others' bids under a given mechanism;
+* :mod:`repro.agents.kernels` — closed-form utility kernels that
+  collapse the best-response search to O(n + grid) arithmetic via the
+  sufficient statistics ``(S_{-i}, Q_{-i})``;
 * :mod:`repro.agents.game` — iterated best-response dynamics of the
   induced bidding game, demonstrating that the truthful profile is the
   unique fixed point under the verification mechanism.
@@ -24,8 +27,13 @@ from repro.agents.behaviors import (
     profile_bids,
     profile_execution_values,
 )
-from repro.agents.best_response import best_response, BestResponse
-from repro.agents.game import BiddingGame, GameTrace
+from repro.agents.best_response import best_response, best_response_fast, BestResponse
+from repro.agents.game import BestResponseDynamics, BiddingGame, GameTrace
+from repro.agents.kernels import (
+    sufficient_statistics,
+    utility_kernel,
+    utility_grid,
+)
 from repro.agents.learning import (
     LearningTrace,
     MultiplicativeWeightsBidder,
@@ -42,9 +50,14 @@ __all__ = [
     "profile_bids",
     "profile_execution_values",
     "best_response",
+    "best_response_fast",
     "BestResponse",
+    "BestResponseDynamics",
     "BiddingGame",
     "GameTrace",
+    "sufficient_statistics",
+    "utility_kernel",
+    "utility_grid",
     "LearningTrace",
     "MultiplicativeWeightsBidder",
     "simulate_learning",

@@ -2,9 +2,28 @@
 
 For a truthful mechanism the best response is the truth (Theorem 3.1);
 for the non-truthful declared-compensation variant the optimiser finds
-the profitable overbid.  The optimiser combines a coarse log-spaced
-bid scan with a golden-section refinement; execution values are
-optimised over ``[t, exec_cap * t]``.
+the profitable overbid.  The search evaluates a shared ``(execution x
+bid)`` candidate grid — log-spaced bids across ``bid_bounds_factor``,
+linear execution values over ``[t, exec_cap * t]`` — then polishes the
+grid argmax with bounded golden-section refinement.
+
+Two interchangeable evaluation methods fill the grid:
+
+* ``"bruteforce"`` — one full :meth:`Mechanism.run` per candidate,
+  O(grid * n); works for every mechanism.
+* ``"vectorized"`` — the closed-form sufficient-statistic kernel of
+  :mod:`repro.agents.kernels`, O(n + grid); available for
+  :class:`~repro.mechanism.VerificationMechanism` (both compensation
+  modes).  ``"auto"`` (the default) picks it whenever it applies.
+
+**Tie-break contract** (shared by both methods, pinned by the property
+tests and ``benchmarks/bench_best_response.py``): the grid argmax is
+the first maximal entry of the ``(execution x bid)`` surface in
+C (row-major) order — ties resolve to the lowest execution index,
+then the lowest bid index — and the truth is kept whenever the search
+does not *strictly* beat the truthful utility.  With ``refine=False``
+the two methods therefore select bit-identical ``(bid, execution)``
+grid pairs.
 """
 
 from __future__ import annotations
@@ -12,7 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import optimize
 
 from repro._validation import (
     as_float_array,
@@ -20,9 +38,12 @@ from repro._validation import (
     check_positive,
     check_positive_scalar,
 )
+from repro.agents import kernels
 from repro.mechanism.base import Mechanism
 
-__all__ = ["BestResponse", "best_response"]
+__all__ = ["BestResponse", "best_response", "best_response_fast"]
+
+_METHODS = ("auto", "bruteforce", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -50,20 +71,16 @@ class BestResponse:
         return self.gain <= 1e-7 * max(1.0, abs(self.truthful_utility))
 
 
-def _utility(
-    mechanism: Mechanism,
-    true_values: np.ndarray,
-    arrival_rate: float,
-    agent: int,
-    bid: float,
-    execution: float,
-) -> float:
-    bids = true_values.copy()
-    bids[agent] = bid
-    execs = true_values.copy()
-    execs[agent] = execution
-    outcome = mechanism.run(bids, arrival_rate, execs, true_values=true_values)
-    return float(outcome.payments.utility[agent])
+def _grid_utilities(utility, bid_grid: np.ndarray, exec_grid: np.ndarray) -> np.ndarray:
+    """Brute-force fill of the full candidate surface.
+
+    One mechanism run per cell, hoisted out of the per-execution
+    comprehension so both methods produce the same ``(execution x
+    bid)``-shaped array and share one argmax/tie-break call.
+    """
+    return np.array(
+        [[utility(float(b), float(e)) for b in bid_grid] for e in exec_grid]
+    )
 
 
 def best_response(
@@ -76,6 +93,9 @@ def best_response(
     bid_bounds_factor: tuple[float, float] = (0.05, 20.0),
     execution_cap_factor: float = 4.0,
     scan_points: int = 48,
+    exec_points: int = 8,
+    method: str = "auto",
+    refine: bool = True,
 ) -> BestResponse:
     """Best (bid, execution) pair for ``agent`` given the others' bids.
 
@@ -97,14 +117,41 @@ def best_response(
     execution_cap_factor:
         Execution values are searched in ``[t, cap * t]``.
     scan_points:
-        Size of the coarse log-spaced bid grid seeding the refinement.
+        Size of the log-spaced bid grid.
+    exec_points:
+        Size of the linear execution grid (collapsed to one honest
+        point when the cap is 1).
+    method:
+        ``"bruteforce"``, ``"vectorized"``, or ``"auto"`` (vectorized
+        whenever the mechanism has the closed-form kernel).
+    refine:
+        Polish the grid argmax with bounded scalar refinement.
+        ``refine=False`` returns the raw grid selection, which is
+        bit-identical across methods.
     """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if method == "auto":
+        method = "vectorized" if kernels.supports(mechanism) else "bruteforce"
+
+    if method == "vectorized":
+        return kernels.best_response_fast(
+            mechanism,
+            true_values,
+            arrival_rate,
+            agent,
+            other_bids=other_bids,
+            bid_bounds_factor=bid_bounds_factor,
+            execution_cap_factor=execution_cap_factor,
+            scan_points=scan_points,
+            exec_points=exec_points,
+            refine=refine,
+        )
+
     true_values = as_float_array(true_values, "true_values")
     check_positive(true_values, "true_values")
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
     agent = check_index(agent, true_values.size, "agent")
-    if execution_cap_factor < 1.0:
-        raise ValueError("execution_cap_factor must be >= 1")
 
     base = true_values.copy()
     if other_bids is not None:
@@ -115,60 +162,55 @@ def best_response(
         base = other_bids.copy()
         base[agent] = true_values[agent]
 
-    t_i = true_values[agent]
+    t_i = float(true_values[agent])
 
     def utility(bid: float, execution: float) -> float:
         bids = base.copy()
         bids[agent] = bid
         execs = base.copy()
         execs[agent] = execution
-        outcome = mechanism.run(
-            bids, arrival_rate, execs, true_values=None
-        )
+        outcome = mechanism.run(bids, arrival_rate, execs, true_values=None)
         return float(outcome.payments.utility[agent])
 
     truthful = utility(t_i, t_i)
 
-    # For each candidate execution value, optimise the bid with a scan
-    # plus bounded scalar refinement; then optimise over the execution
-    # value the same way.  Utilities are smooth in both arguments, so
-    # this two-stage search is reliable at this problem size.
-    lo, hi = bid_bounds_factor
-    bid_grid = t_i * np.geomspace(lo, hi, scan_points)
-
-    def best_bid_for(execution: float) -> tuple[float, float]:
-        utilities = np.array([utility(b, execution) for b in bid_grid])
-        k = int(np.argmax(utilities))
-        lo_b = bid_grid[max(0, k - 1)]
-        hi_b = bid_grid[min(scan_points - 1, k + 1)]
-        res = optimize.minimize_scalar(
-            lambda b: -utility(b, execution),
-            bounds=(lo_b, hi_b),
-            method="bounded",
-            options={"xatol": 1e-10 * t_i},
-        )
-        return float(res.x), float(-res.fun)
-
-    exec_grid = t_i * np.linspace(1.0, execution_cap_factor, 8)
-    best = (-np.inf, t_i, t_i)
-    for e in exec_grid:
-        b, u = best_bid_for(float(e))
-        if u > best[0]:
-            best = (u, b, float(e))
-
-    # Refine the execution value around the best grid point.
-    _, b_star, e_star = best
-    res = optimize.minimize_scalar(
-        lambda e: -utility(b_star, e),
-        bounds=(t_i, execution_cap_factor * t_i),
-        method="bounded",
-        options={"xatol": 1e-10 * t_i},
+    bid_grid, exec_grid = kernels.strategy_grids(
+        t_i,
+        bid_bounds_factor=bid_bounds_factor,
+        execution_cap_factor=execution_cap_factor,
+        scan_points=scan_points,
+        exec_points=exec_points,
     )
-    if -res.fun > best[0]:
-        best = (float(-res.fun), b_star, float(res.x))
+    surface = _grid_utilities(utility, bid_grid, exec_grid)
+    row, col = kernels.grid_argmax(surface)
+    best = (float(surface[row, col]), float(bid_grid[col]), float(exec_grid[row]))
+    if refine:
+        best = kernels.refine_from_grid(
+            utility,
+            bid_grid,
+            exec_grid,
+            row,
+            col,
+            best[0],
+            t_i,
+            execution_cap_factor,
+        )
     u_star, b_star, e_star = best
 
     # Keep truth if the search did not strictly beat it (flat optimum).
     if truthful >= u_star:
-        return BestResponse(agent, float(t_i), float(t_i), truthful, truthful)
+        return BestResponse(agent, t_i, t_i, truthful, truthful)
     return BestResponse(agent, b_star, e_star, u_star, truthful)
+
+
+def best_response_fast(
+    mechanism: Mechanism,
+    true_values: np.ndarray,
+    arrival_rate: float,
+    agent: int,
+    **kwargs,
+) -> BestResponse:
+    """Alias for the kernel path; see :func:`repro.agents.kernels.best_response_fast`."""
+    return kernels.best_response_fast(
+        mechanism, true_values, arrival_rate, agent, **kwargs
+    )

@@ -6,6 +6,19 @@ the truthful profile is a fixed point reached immediately; under the
 non-truthful declared-compensation variant the dynamics drift away from
 the truth — the demonstration that verification-style payments are what
 keeps the system at the efficient allocation.
+
+Two drivers share the :class:`GameTrace` contract:
+
+* :class:`BiddingGame` — calls
+  :func:`~repro.agents.best_response.best_response` per agent per
+  round, recomputing the others' profile from scratch each time; works
+  for any mechanism, with a ``method`` switch for the grid evaluation.
+* :class:`BestResponseDynamics` — the fast path for
+  :class:`~repro.mechanism.VerificationMechanism`: maintains the
+  sufficient statistics ``S = sum 1/b_j`` and ``Q = sum t~_j/b_j**2``
+  in an :class:`~repro.allocation.IncrementalStrategicState` and feeds
+  each agent's step through the closed-form kernel, so a round costs
+  O(n * grid) arithmetic instead of O(n^2 * grid) mechanism runs.
 """
 
 from __future__ import annotations
@@ -15,10 +28,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro._validation import as_float_array, check_positive, check_positive_scalar
-from repro.agents.best_response import best_response
+from repro.agents import kernels
+from repro.agents.best_response import BestResponse, best_response
+from repro.allocation.incremental import IncrementalStrategicState
 from repro.mechanism.base import Mechanism
 
-__all__ = ["GameTrace", "BiddingGame"]
+__all__ = ["GameTrace", "BiddingGame", "BestResponseDynamics"]
 
 
 @dataclass(frozen=True)
@@ -56,12 +71,17 @@ class BiddingGame:
         When true (default), agents always execute at capacity and only
         optimise their bids; the full two-dimensional deviation is
         covered by :func:`repro.agents.best_response.best_response`.
+    method:
+        Grid-evaluation method forwarded to
+        :func:`~repro.agents.best_response.best_response` —
+        ``"bruteforce"``, ``"vectorized"``, or ``"auto"`` (default).
     """
 
     mechanism: Mechanism
     true_values: np.ndarray
     arrival_rate: float
     honest_execution: bool = True
+    method: str = "auto"
     _tolerance: float = field(default=1e-6, repr=False)
 
     def __post_init__(self) -> None:
@@ -98,6 +118,7 @@ class BiddingGame:
                     agent,
                     other_bids=bids,
                     execution_cap_factor=exec_cap,
+                    method=self.method,
                 )
                 bids[agent] = br.bid
             history.append(bids.copy())
@@ -121,7 +142,107 @@ class BiddingGame:
                 self.arrival_rate,
                 agent,
                 execution_cap_factor=exec_cap,
+                method=self.method,
             )
+            if not br.is_truthful:
+                return False
+        return True
+
+
+@dataclass
+class BestResponseDynamics:
+    """Incremental iterated best response through the closed-form kernel.
+
+    Behaviourally equivalent to :class:`BiddingGame` on a
+    :class:`~repro.mechanism.VerificationMechanism` (the property tests
+    pin the agreement), but each agent step reads its leave-one-out
+    statistics ``(S_{-i}, Q_{-i})`` from an
+    :class:`~repro.allocation.IncrementalStrategicState` — two O(1)
+    subtractions plus a rank-1 update per step — instead of re-running
+    the mechanism over the full profile for every grid candidate.
+
+    As in :class:`BiddingGame`, every non-deviating machine is presumed
+    to execute exactly as it declared (``t~_j = b_j``), so the state's
+    execution vector tracks the bid vector across rounds.
+    """
+
+    mechanism: Mechanism
+    true_values: np.ndarray
+    arrival_rate: float
+    honest_execution: bool = True
+    _tolerance: float = field(default=1e-6, repr=False)
+
+    def __post_init__(self) -> None:
+        self.true_values = as_float_array(self.true_values, "true_values")
+        check_positive(self.true_values, "true_values")
+        if self.true_values.size < 2:
+            raise ValueError("best-response dynamics require at least two agents")
+        self.arrival_rate = check_positive_scalar(self.arrival_rate, "arrival_rate")
+        # Raises TypeError for mechanisms without a closed-form kernel.
+        self._compensation = kernels.compensation_mode_of(self.mechanism)
+
+    @property
+    def _execution_cap(self) -> float:
+        return 1.0 if self.honest_execution else 4.0
+
+    def run(
+        self,
+        start_bids: np.ndarray | None = None,
+        max_rounds: int = 20,
+    ) -> GameTrace:
+        """Iterate best responses until bids stop moving or rounds run out."""
+        n = self.true_values.size
+        bids = (
+            self.true_values.copy()
+            if start_bids is None
+            else as_float_array(start_bids, "start_bids").copy()
+        )
+        if bids.size != n:
+            raise ValueError("start_bids must have one entry per agent")
+        check_positive(bids, "start_bids")
+
+        state = IncrementalStrategicState(bids)
+        history = [bids.copy()]
+        converged = False
+        for _ in range(max_rounds):
+            previous = bids.copy()
+            for agent in range(n):
+                s_minus, q_minus = state.statistics_excluding(agent)
+                new_bid, _, _, _ = kernels.best_response_given_stats(
+                    s_minus,
+                    q_minus,
+                    float(self.true_values[agent]),
+                    self.arrival_rate,
+                    compensation=self._compensation,
+                    execution_cap_factor=self._execution_cap,
+                )
+                state.update(agent, new_bid)
+                bids[agent] = new_bid
+            history.append(bids.copy())
+            if np.max(np.abs(bids - previous) / previous) < self._tolerance:
+                converged = True
+                break
+
+        return GameTrace(
+            bid_history=np.array(history),
+            converged=converged,
+            rounds=len(history) - 1,
+        )
+
+    def truthful_is_equilibrium(self) -> bool:
+        """Whether no agent gains by deviating from the all-truthful profile."""
+        state = IncrementalStrategicState(self.true_values)
+        for agent in range(self.true_values.size):
+            s_minus, q_minus = state.statistics_excluding(agent)
+            bid, execution, utility, truthful = kernels.best_response_given_stats(
+                s_minus,
+                q_minus,
+                float(self.true_values[agent]),
+                self.arrival_rate,
+                compensation=self._compensation,
+                execution_cap_factor=self._execution_cap,
+            )
+            br = BestResponse(agent, bid, execution, utility, truthful)
             if not br.is_truthful:
                 return False
         return True

@@ -30,6 +30,7 @@ from repro._validation import (
     check_positive,
     check_positive_scalar,
 )
+from repro.agents import kernels
 from repro.mechanism.base import Mechanism
 
 __all__ = ["LearningTrace", "MultiplicativeWeightsBidder", "simulate_learning"]
@@ -133,6 +134,7 @@ def simulate_learning(
     rounds: int = 200,
     learning_rate: float = 0.2,
     factors: np.ndarray | None = None,
+    method: str = "auto",
 ) -> LearningTrace:
     """Run Hedge learners against each other through the mechanism.
 
@@ -140,7 +142,21 @@ def simulate_learning(
     the mechanism runs; each machine then receives the counterfactual
     utility of every factor (holding the others' sampled bids fixed)
     and updates.  Executions stay at capacity throughout.
+
+    ``method`` selects how the counterfactual utilities are evaluated:
+    ``"bruteforce"`` re-runs the mechanism per factor (O(grid * n) per
+    agent per round, works for any mechanism); ``"vectorized"`` uses
+    the closed-form kernel of :mod:`repro.agents.kernels` (O(n + grid)
+    per agent per round); ``"auto"`` (default) picks the kernel
+    whenever the mechanism supports it.
     """
+    if method not in ("auto", "bruteforce", "vectorized"):
+        raise ValueError(f"unknown method {method!r}")
+    if method == "auto":
+        method = "vectorized" if kernels.supports(mechanism) else "bruteforce"
+    compensation = (
+        kernels.compensation_mode_of(mechanism) if method == "vectorized" else None
+    )
     true_values = as_float_array(true_values, "true_values")
     check_positive(true_values, "true_values")
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
@@ -165,14 +181,29 @@ def simulate_learning(
         latencies[round_index] = outcome.realised_latency
 
         for i, learner in enumerate(learners):
-            utilities = np.empty(grid.size)
-            for k, factor in enumerate(grid):
-                candidate = bids.copy()
-                candidate[i] = factor * true_values[i]
-                counterfactual = mechanism.run(
-                    candidate, arrival_rate, true_values
+            if method == "vectorized":
+                # Learners execute at capacity, so the leave-one-out
+                # statistics use the true values as executions.
+                s_minus, q_minus = kernels.sufficient_statistics(
+                    bids, true_values, agent=i
                 )
-                utilities[k] = float(counterfactual.payments.utility[i])
+                utilities = kernels.utility_kernel(
+                    grid * true_values[i],
+                    float(true_values[i]),
+                    s_minus,
+                    q_minus,
+                    arrival_rate,
+                    compensation=compensation,
+                )
+            else:
+                utilities = np.empty(grid.size)
+                for k, factor in enumerate(grid):
+                    candidate = bids.copy()
+                    candidate[i] = factor * true_values[i]
+                    counterfactual = mechanism.run(
+                        candidate, arrival_rate, true_values
+                    )
+                    utilities[k] = float(counterfactual.payments.utility[i])
             learner.update(utilities)
             mass_history[round_index, i] = learner.truthful_mass
 

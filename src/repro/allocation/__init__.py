@@ -20,7 +20,7 @@ from repro.allocation.pr import (
 )
 from repro.allocation.kkt import water_filling_allocation
 from repro.allocation.reference import scipy_allocation
-from repro.allocation.incremental import IncrementalPRState
+from repro.allocation.incremental import IncrementalPRState, IncrementalStrategicState
 from repro.allocation.baselines import (
     equal_split,
     capacity_proportional_split,
@@ -37,6 +37,7 @@ __all__ = [
     "water_filling_allocation",
     "scipy_allocation",
     "IncrementalPRState",
+    "IncrementalStrategicState",
     "equal_split",
     "capacity_proportional_split",
     "random_split",

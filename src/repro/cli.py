@@ -106,6 +106,9 @@ def _cmd_figure(args: argparse.Namespace) -> str:
 
 
 _VARIANTS = ("observed", "declared", "vcg", "archer-tardos")
+# The campaign additionally offers closed-form best-response dynamics
+# (kernel-driven; see repro.agents.game.BestResponseDynamics).
+_CAMPAIGN_VARIANTS = _VARIANTS + ("dynamics",)
 
 
 def _mechanism_for(variant: str):
@@ -435,6 +438,8 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
 
     if args.seeds < 0:
         raise ValueError(f"--seeds must be >= 0, got {args.seeds}")
+    if args.variant == "dynamics" and args.seeds:
+        raise ValueError("--variant dynamics is closed-form only; drop --seeds")
     if args.duration <= 0:
         raise ValueError(f"--duration must be positive, got {args.duration}")
     config = table1_configuration()
@@ -717,8 +722,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="job-generation window per protocol replication (simulated s)",
     )
     campaign.add_argument(
-        "--variant", choices=_VARIANTS, default="observed",
-        help="mechanism variant the units evaluate",
+        "--variant", choices=_CAMPAIGN_VARIANTS, default="observed",
+        help="mechanism variant the units evaluate ('dynamics' iterates "
+        "kernel-driven best responses from each scenario profile)",
     )
     campaign.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",

@@ -188,25 +188,38 @@ def batch_utility_of_agent(
 ) -> np.ndarray:
     """Utility of one agent over a grid of its own deviations.
 
-    Builds the ``(K, n)`` profile matrices from a fixed vector of the
-    other agents' bids/executions (``other_values``, whose ``agent``
-    entry is ignored) and the agent's candidate bids/executions
-    (broadcast together), then evaluates the batch.  This is the kernel
-    behind fast landscapes and audits.
+    The other agents' profile (``other_values``, whose ``agent`` entry
+    is ignored — they bid and execute at those values) is collapsed to
+    the sufficient statistics ``(S_{-i}, Q_{-i})`` once, then the
+    candidate bids/executions (broadcast together) are evaluated through
+    the closed-form kernel of :mod:`repro.agents.kernels` — O(K + n)
+    instead of the former ``(K, n)``-tile evaluation.  This is the
+    kernel behind fast landscapes and audits.
     """
+    from repro.agents import kernels
+
     other_values = np.asarray(other_values, dtype=np.float64)
+    if other_values.ndim != 1 or other_values.size < 2:
+        raise ValueError(
+            "other_values must be a 1-D vector of at least two machines"
+        )
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    if compensation not in ("observed", "declared"):
+        raise ValueError("compensation must be 'observed' or 'declared'")
     agent_bids, agent_executions = np.broadcast_arrays(
         np.asarray(agent_bids, dtype=np.float64),
         np.asarray(agent_executions, dtype=np.float64),
     )
-    flat_bids = agent_bids.reshape(-1)
-    flat_execs = agent_executions.reshape(-1)
-    k = flat_bids.size
+    for name, values in (("agent_bids", agent_bids), ("agent_executions", agent_executions)):
+        if not np.all(np.isfinite(values)) or np.any(values <= 0.0):
+            raise ValueError(f"all entries of {name} must be strictly positive and finite")
 
-    bids = np.tile(other_values, (k, 1))
-    execs = np.tile(other_values, (k, 1))
-    bids[:, agent] = flat_bids
-    execs[:, agent] = flat_execs
-
-    outcome = batch_run(bids, arrival_rate, execs, compensation=compensation)
-    return outcome.utility[:, agent].reshape(agent_bids.shape)
+    s_minus, q_minus = kernels.sufficient_statistics(other_values, agent=agent)
+    return kernels.utility_kernel(
+        agent_bids,
+        agent_executions,
+        s_minus,
+        q_minus,
+        arrival_rate,
+        compensation=compensation,
+    )

@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 _KINDS = ("scenario", "protocol")
-_VARIANTS = ("observed", "declared", "vcg", "archer-tardos")
+_VARIANTS = ("observed", "declared", "vcg", "archer-tardos", "dynamics")
 
 
 @dataclass(frozen=True)
@@ -60,8 +60,11 @@ class ExperimentUnit:
         Total job arrival rate ``R``.
     variant:
         Payment rule: ``observed`` / ``declared``
-        (:class:`~repro.mechanism.VerificationMechanism`), ``vcg``, or
-        ``archer-tardos``.
+        (:class:`~repro.mechanism.VerificationMechanism`), ``vcg``,
+        ``archer-tardos``, or ``dynamics`` — iterated best response
+        under the observed-compensation mechanism starting from the
+        unit's bid profile, driven by the closed-form kernel
+        (:class:`~repro.agents.game.BestResponseDynamics`).
     seed:
         RNG seed for protocol units (ignored by scenario units).
     manipulator:
@@ -88,6 +91,8 @@ class ExperimentUnit:
             raise ValueError(
                 f"variant must be one of {_VARIANTS}, got {self.variant!r}"
             )
+        if self.variant == "dynamics" and self.kind != "scenario":
+            raise ValueError("the dynamics variant is closed-form only")
         values = tuple(float(t) for t in self.true_values)
         if len(values) < 2:
             raise ValueError("true_values needs at least two machines")
@@ -203,6 +208,10 @@ def _mechanism_for(variant: str):
 
     if variant in ("observed", "declared"):
         return VerificationMechanism(variant)
+    if variant == "dynamics":
+        # Dynamics units iterate best responses under the observed-
+        # compensation rule and score the resulting fixed point.
+        return VerificationMechanism("observed")
     if variant == "vcg":
         return VCGMechanism()
     return ArcherTardosMechanism()
@@ -243,10 +252,47 @@ def _payload_from_outcome(outcome) -> dict:
 def _execute_scenario(unit: ExperimentUnit) -> dict:
     true_values, bids, executions = _profile(unit)
     mechanism = _mechanism_for(unit.variant)
+    if unit.variant == "dynamics":
+        return _execute_dynamics(unit, true_values, bids, mechanism)
     outcome = mechanism.run(
         bids, unit.arrival_rate, executions, true_values=true_values
     )
     return _payload_from_outcome(outcome)
+
+
+def _execute_dynamics(
+    unit: ExperimentUnit,
+    true_values: np.ndarray,
+    start_bids: np.ndarray,
+    mechanism,
+) -> dict:
+    """Iterate best responses from the unit's profile, score the limit.
+
+    The dynamics run through the closed-form kernel (every non-deviating
+    machine executes as declared while agents adjust), then the final
+    bid profile is scored with machines executing at capacity — the
+    steady state the fixed point describes.
+    """
+    from repro.agents import BestResponseDynamics
+
+    dynamics = BestResponseDynamics(
+        mechanism, true_values, unit.arrival_rate, honest_execution=True
+    )
+    trace = dynamics.run(start_bids=start_bids)
+    final_bids = trace.final_bids
+    outcome = mechanism.run(
+        final_bids, unit.arrival_rate, true_values, true_values=true_values
+    )
+    payload = _payload_from_outcome(outcome)
+    payload.update(
+        {
+            "start_bids": start_bids.tolist(),
+            "rounds": int(trace.rounds),
+            "converged": bool(trace.converged),
+            "max_drift_from_truth": float(trace.max_drift_from(true_values)),
+        }
+    )
+    return payload
 
 
 def _execute_protocol(unit: ExperimentUnit) -> dict:

@@ -136,6 +136,15 @@ class MechanismCoordinator:
     _bids: dict[str, float] = field(default_factory=dict)
     _reports: dict[str, CompletionReport] = field(default_factory=dict)
     _loads: np.ndarray | None = None
+    # Membership/caching state, maintained incrementally: the pending
+    # sets are lazily derived from (machine_names, _bids/_reports) on
+    # first use — so a coordinator restored from a checkpoint (which
+    # assigns ``_bids``/``_reports`` wholesale on a fresh instance)
+    # rebuilds them correctly — then updated by discard as replies
+    # arrive, replacing the per-message O(n) rescans.
+    _pending_bids: set[str] | None = field(default=None, repr=False)
+    _pending_reports: set[str] | None = field(default=None, repr=False)
+    _bids_cache: np.ndarray | None = field(default=None, repr=False)
 
     def _set_phase(self, phase: ProtocolPhase) -> None:
         """Advance the state machine, recording the transition.
@@ -178,8 +187,8 @@ class MechanismCoordinator:
             raise RuntimeError(f"unexpected bid in phase {self.phase}")
         if reply.sender in self._bids:
             raise RuntimeError(f"duplicate bid from {reply.sender}")
-        self._bids[reply.sender] = reply.bid
-        if len(self._bids) < len(self.machine_names):
+        self._record_bid(reply)
+        if self._pending_bid_set():
             return
 
         bids = self.bids_vector()
@@ -200,8 +209,8 @@ class MechanismCoordinator:
             raise RuntimeError(f"unexpected completion report in phase {self.phase}")
         if report.sender in self._reports:
             raise RuntimeError(f"duplicate report from {report.sender}")
-        self._reports[report.sender] = report
-        if len(self._reports) < len(self.machine_names):
+        self._record_report(report)
+        if self._pending_report_set():
             return
 
         self._set_phase(ProtocolPhase.VERIFYING)
@@ -239,18 +248,62 @@ class MechanismCoordinator:
 
     # ------------------------------------------------------------ helpers
 
+    def _record_bid(self, reply: BidReply) -> None:
+        """Store one bid and update the incremental membership state."""
+        self._bids[reply.sender] = reply.bid
+        self._bids_cache = None
+        self._pending_bid_set().discard(reply.sender)
+
+    def _record_report(self, report: CompletionReport) -> None:
+        """Store one report and update the incremental membership state."""
+        self._reports[report.sender] = report
+        self._pending_report_set().discard(report.sender)
+
+    def _pending_bid_set(self) -> set[str]:
+        if self._pending_bids is None:
+            self._pending_bids = set(self.machine_names) - self._bids.keys()
+        return self._pending_bids
+
+    def _pending_report_set(self) -> set[str]:
+        if self._pending_reports is None:
+            self._pending_reports = set(self.machine_names) - self._reports.keys()
+        return self._pending_reports
+
+    def _reset_membership_caches(self) -> None:
+        """Invalidate the derived state after ``machine_names`` changes."""
+        self._pending_bids = None
+        self._pending_reports = None
+        self._bids_cache = None
+
     @property
     def pending_bidders(self) -> list[str]:
         """Machines whose bid has not arrived yet (``machine_names`` order)."""
-        return [n for n in self.machine_names if n not in self._bids]
+        pending = self._pending_bid_set()
+        if not pending:
+            return []
+        return [n for n in self.machine_names if n in pending]
 
     @property
     def pending_reporters(self) -> list[str]:
         """Machines whose completion report has not arrived yet."""
-        return [n for n in self.machine_names if n not in self._reports]
+        pending = self._pending_report_set()
+        if not pending:
+            return []
+        return [n for n in self.machine_names if n in pending]
 
     def bids_vector(self) -> np.ndarray:
-        """Collected bids in ``machine_names`` order."""
-        if len(self._bids) != len(self.machine_names):
+        """Collected bids in ``machine_names`` order.
+
+        The vector is assembled once per phase and cached (a new bid or
+        a membership change invalidates it); callers get a copy, so the
+        cache can never be mutated from outside.
+        """
+        cache = self._bids_cache
+        if cache is not None and cache.size == len(self.machine_names):
+            return cache.copy()
+        if self._pending_bid_set():
             raise RuntimeError("bids are not complete yet")
-        return np.array([self._bids[name] for name in self.machine_names])
+        self._bids_cache = np.array(
+            [self._bids[name] for name in self.machine_names]
+        )
+        return self._bids_cache.copy()

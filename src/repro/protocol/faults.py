@@ -222,8 +222,8 @@ class FaultTolerantCoordinator(MechanismCoordinator):
             raise RuntimeError(f"unexpected bid in phase {self.phase}")
         if reply.sender in self._bids:
             raise RuntimeError(f"duplicate bid from {reply.sender}")
-        self._bids[reply.sender] = reply.bid
-        if len(self._bids) == len(self.machine_names):
+        self._record_bid(reply)
+        if not self._pending_bid_set():
             self._allocate_to_responders()
 
     def close_bidding(self, *, void_if_empty: bool = False) -> None:
@@ -257,6 +257,7 @@ class FaultTolerantCoordinator(MechanismCoordinator):
         responders = [n for n in self.machine_names if n in self._bids]
         self.excluded = [n for n in self.machine_names if n not in self._bids]
         self.machine_names = responders
+        self._reset_membership_caches()
 
         bids = self.bids_vector()
         allocation = self.mechanism.allocate(bids, self.arrival_rate)
@@ -276,18 +277,18 @@ class FaultTolerantCoordinator(MechanismCoordinator):
             raise RuntimeError(f"unexpected completion report in phase {self.phase}")
         if report.sender in self._reports:
             raise RuntimeError(f"duplicate report from {report.sender}")
-        if report.sender not in self.machine_names:
+        # Not a duplicate, so any participating machine is still pending.
+        if report.sender not in self._pending_report_set():
             raise RuntimeError(f"report from excluded machine {report.sender}")
-        self._reports[report.sender] = report
-        if len(self._reports) == len(self.machine_names):
+        self._record_report(report)
+        if not self._pending_report_set():
             self._finish_with_missing(set())
 
     def close_reporting(self) -> None:
         """Report deadline: impute the silent machines and pay the rest."""
         if self.phase is not ProtocolPhase.EXECUTING:
             return
-        missing = {n for n in self.machine_names if n not in self._reports}
-        self._finish_with_missing(missing)
+        self._finish_with_missing(set(self._pending_report_set()))
 
     def _finish_with_missing(self, missing: set[str]) -> None:
         self._set_phase(ProtocolPhase.VERIFYING)

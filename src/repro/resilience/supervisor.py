@@ -135,6 +135,7 @@ class SupervisedCoordinator(FaultTolerantCoordinator):
             return
         self.excluded = [n for n in self.machine_names if n not in self._bids]
         self.machine_names = responders
+        self._reset_membership_caches()
 
         bids = self.bids_vector()
         if self.allocator is not None:

@@ -1,0 +1,239 @@
+"""Closed-form best-response kernels vs the brute-force search.
+
+The contract under test (DESIGN.md §10): the kernel path is an exact
+reformulation, not an approximation — same utilities to 1e-9 relative,
+bit-identical grid selections with refinement off, same truthfulness
+verdicts, and the same fixed points under iterated dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import (
+    BestResponseDynamics,
+    BiddingGame,
+    best_response,
+    best_response_fast,
+    sufficient_statistics,
+    utility_kernel,
+)
+from repro.agents import kernels
+from repro.allocation import IncrementalStrategicState
+from repro.mechanism import VCGMechanism, VerificationMechanism
+from repro.system import paper_cluster
+from repro.system.cluster import PAPER_ARRIVAL_RATE
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+def _run_utility(mechanism, bids, arrival_rate, executions, agent):
+    outcome = mechanism.run(bids, arrival_rate, executions)
+    return float(outcome.payments.utility[agent])
+
+
+# ------------------------------------------------------- kernel exactness
+
+
+class TestUtilityKernel:
+    @pytest.mark.parametrize("compensation", ["observed", "declared"])
+    def test_matches_mechanism_run_on_random_profiles(self, compensation, rng):
+        mechanism = VerificationMechanism(compensation)
+        for _ in range(50):
+            n = int(rng.integers(2, 8))
+            bids = rng.uniform(0.2, 8.0, n)
+            executions = bids * rng.uniform(1.0, 3.0, n)
+            arrival_rate = float(rng.uniform(0.5, 30.0))
+            agent = int(rng.integers(n))
+            s_minus, q_minus = sufficient_statistics(
+                bids, executions, agent=agent
+            )
+            expected = _run_utility(
+                mechanism, bids, arrival_rate, executions, agent
+            )
+            actual = float(
+                utility_kernel(
+                    bids[agent],
+                    executions[agent],
+                    s_minus,
+                    q_minus,
+                    arrival_rate,
+                    compensation=compensation,
+                )
+            )
+            assert actual == pytest.approx(expected, rel=RELATIVE_TOLERANCE)
+
+    def test_broadcasts_over_candidate_grids(self):
+        bids = np.array([0.5, 1.0, 2.0])
+        execs = np.array([[1.0], [2.0]])
+        surface = utility_kernel(bids, execs, 0.8, 0.9, 5.0)
+        assert surface.shape == (2, 3)
+        for i, e in enumerate((1.0, 2.0)):
+            for j, b in enumerate(bids):
+                assert surface[i, j] == utility_kernel(b, e, 0.8, 0.9, 5.0)
+
+    def test_rejects_unknown_compensation(self):
+        with pytest.raises(ValueError, match="compensation"):
+            utility_kernel(1.0, 1.0, 0.5, 0.5, 3.0, compensation="bogus")
+
+    def test_supports_only_verification_mechanism(self):
+        assert kernels.supports(VerificationMechanism())
+        assert not kernels.supports(VCGMechanism())
+        with pytest.raises(TypeError, match="closed-form utility kernel"):
+            kernels.compensation_mode_of(VCGMechanism())
+
+
+class TestSufficientStatistics:
+    def test_matches_incremental_state(self, rng):
+        bids = rng.uniform(0.5, 5.0, 6)
+        executions = bids * rng.uniform(1.0, 2.0, 6)
+        state = IncrementalStrategicState(bids, executions)
+        for agent in range(6):
+            expected = sufficient_statistics(bids, executions, agent=agent)
+            assert state.statistics_excluding(agent) == pytest.approx(expected)
+
+    def test_rank_one_updates_track_refreshed_sums(self, rng):
+        state = IncrementalStrategicState(rng.uniform(0.5, 5.0, 5))
+        for _ in range(200):
+            state.update(int(rng.integers(5)), float(rng.uniform(0.3, 6.0)))
+        s, q = state.total_inverse, state.total_weighted
+        state.refresh()
+        assert s == pytest.approx(state.total_inverse, rel=1e-12)
+        assert q == pytest.approx(state.total_weighted, rel=1e-12)
+
+
+# ------------------------------------------- fast vs brute-force property
+
+
+@st.composite
+def _search_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    true_values = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0),
+            min_size=n, max_size=n,
+        )
+    )
+    return {
+        "true_values": true_values,
+        "arrival_rate": draw(st.floats(min_value=0.5, max_value=40.0)),
+        "agent": draw(st.integers(min_value=0, max_value=n - 1)),
+        "compensation": draw(st.sampled_from(["observed", "declared"])),
+        "scan_points": draw(st.integers(min_value=8, max_value=24)),
+        "exec_points": draw(st.integers(min_value=2, max_value=5)),
+        "execution_cap_factor": draw(st.sampled_from([1.0, 2.0, 4.0])),
+    }
+
+
+class TestFastMatchesBruteForce:
+    @given(case=_search_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_identical_grid_selection_and_utilities(self, case):
+        mechanism = VerificationMechanism(case.pop("compensation"))
+        common = dict(case, refine=False)
+        true_values = np.array(common.pop("true_values"))
+        arrival_rate = common.pop("arrival_rate")
+        agent = common.pop("agent")
+        brute = best_response(
+            mechanism, true_values, arrival_rate, agent,
+            method="bruteforce", **common,
+        )
+        fast = best_response(
+            mechanism, true_values, arrival_rate, agent,
+            method="vectorized", **common,
+        )
+        assert fast.bid == brute.bid
+        assert fast.execution_value == brute.execution_value
+        assert fast.utility == pytest.approx(
+            brute.utility, rel=RELATIVE_TOLERANCE
+        )
+        assert fast.truthful_utility == pytest.approx(
+            brute.truthful_utility, rel=RELATIVE_TOLERANCE
+        )
+        assert fast.is_truthful == brute.is_truthful
+
+    def test_auto_selects_the_kernel_for_verification(self, mechanism):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        auto = best_response(mechanism, t, 4.0, 1, refine=False)
+        fast = best_response_fast(mechanism, t, 4.0, 1, refine=False)
+        assert (auto.bid, auto.execution_value) == (fast.bid, fast.execution_value)
+
+    def test_fast_rejects_unsupported_mechanisms(self):
+        with pytest.raises(TypeError, match="closed-form utility kernel"):
+            best_response_fast(VCGMechanism(), [1.0, 2.0], 3.0, 0)
+
+    def test_respects_other_bids(self, declared_mechanism, small_true_values):
+        others = np.array([2.0, 2.0, 5.0, 12.0])
+        brute = best_response(
+            declared_mechanism, small_true_values, 4.0, 0,
+            other_bids=others, method="bruteforce", refine=False,
+        )
+        fast = best_response(
+            declared_mechanism, small_true_values, 4.0, 0,
+            other_bids=others, method="vectorized", refine=False,
+        )
+        assert (brute.bid, brute.execution_value) == (fast.bid, fast.execution_value)
+
+
+# ------------------------------------------------------ dynamics parity
+
+
+class TestBestResponseDynamics:
+    @pytest.mark.parametrize("compensation", ["observed", "declared"])
+    def test_traces_match_bidding_game(self, compensation):
+        mechanism = VerificationMechanism(compensation)
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        start = np.array([3.0, 2.0, 4.0, 15.0])
+        slow = BiddingGame(mechanism, t, 4.0).run(start_bids=start, max_rounds=6)
+        fast = BestResponseDynamics(mechanism, t, 4.0).run(
+            start_bids=start, max_rounds=6
+        )
+        assert fast.rounds == slow.rounds
+        assert fast.converged == slow.converged
+        np.testing.assert_allclose(
+            fast.final_bids, slow.final_bids, rtol=1e-6
+        )
+
+    def test_rejects_mechanisms_without_a_kernel(self):
+        with pytest.raises(TypeError, match="closed-form utility kernel"):
+            BestResponseDynamics(VCGMechanism(), [1.0, 2.0], 3.0)
+
+    def test_truthful_profile_is_a_fixed_point(self, mechanism):
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        trace = BestResponseDynamics(mechanism, t, 4.0).run()
+        assert trace.converged and trace.rounds == 1
+        assert trace.max_drift_from(t) < 1e-6
+
+
+class TestPaperSystemRegression:
+    """Verdicts on the paper's 16-machine system must not move."""
+
+    @pytest.mark.parametrize("method", ["bruteforce", "vectorized"])
+    def test_observed_truthful_declared_not(self, method):
+        cluster = paper_cluster()
+        observed = BiddingGame(
+            VerificationMechanism("observed"),
+            cluster.true_values, PAPER_ARRIVAL_RATE, method=method,
+        )
+        declared = BiddingGame(
+            VerificationMechanism("declared"),
+            cluster.true_values, PAPER_ARRIVAL_RATE, method=method,
+        )
+        assert observed.truthful_is_equilibrium()
+        assert not declared.truthful_is_equilibrium()
+
+    def test_dynamics_agree_with_the_game_verdicts(self):
+        cluster = paper_cluster()
+        observed = BestResponseDynamics(
+            VerificationMechanism("observed"),
+            cluster.true_values, PAPER_ARRIVAL_RATE,
+        )
+        declared = BestResponseDynamics(
+            VerificationMechanism("declared"),
+            cluster.true_values, PAPER_ARRIVAL_RATE,
+        )
+        assert observed.truthful_is_equilibrium()
+        assert not declared.truthful_is_equilibrium()

@@ -131,3 +131,30 @@ class TestProtocolErrors:
         network.send(BidReply(sender="C2", receiver="C1", bid=1.0))
         with pytest.raises(TypeError, match="cannot handle"):
             sim.run()
+
+
+class TestMembershipCaching:
+    def test_pending_sets_shrink_incrementally_in_order(self):
+        sim, network, coordinator, nodes, _ = _setup()
+        assert coordinator.pending_bidders == ["C1", "C2", "C3"]
+        coordinator.phase = ProtocolPhase.BIDDING
+        coordinator._on_bid(
+            BidReply(sender="C2", receiver=COORDINATOR_NAME, bid=2.0)
+        )
+        assert coordinator.pending_bidders == ["C1", "C3"]
+        assert coordinator.pending_reporters == ["C1", "C2", "C3"]
+
+    def test_bids_vector_is_cached_and_copy_safe(self):
+        sim, network, coordinator, nodes, t = _setup()
+        coordinator.start()
+        sim.run()
+        first = coordinator.bids_vector()
+        first[0] = 99.0  # mutating the returned copy must not poison the cache
+        np.testing.assert_allclose(coordinator.bids_vector(), t)
+
+    def test_pending_sets_survive_wholesale_state_restore(self):
+        # The supervisor's restore path assigns _bids directly on a
+        # fresh coordinator; the lazy derivation must pick that up.
+        _, _, coordinator, _, _ = _setup()
+        coordinator._bids = {"C1": 1.0, "C3": 5.0}
+        assert coordinator.pending_bidders == ["C2"]
