@@ -79,6 +79,7 @@ __all__ = [
     "refine_from_grid",
     "strategy_grids",
     "sufficient_statistics",
+    "sufficient_statistics_all",
     "supports",
     "utility_grid",
     "utility_kernel",
@@ -151,11 +152,44 @@ def sufficient_statistics(
     return s_minus, q_minus
 
 
+def sufficient_statistics_all(
+    bids: np.ndarray,
+    executions: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(S_{-i}, Q_{-i})`` for *every* agent at once, as two vectors.
+
+    The vectorised form of :func:`sufficient_statistics`: each entry is
+    computed as ``total - own`` from the same shared totals the scalar
+    version uses, so ``sufficient_statistics_all(b, e)[0][i]`` is
+    bit-identical to ``sufficient_statistics(b, e, agent=i)[0]``.  This
+    is what lets a learning round score all ``n`` counterfactual grids
+    in one ``(n, K)`` broadcast.
+
+    Examples
+    --------
+    >>> s_all, q_all = sufficient_statistics_all([1.0, 2.0, 4.0])
+    >>> (float(s_all[0]), float(q_all[0]))
+    (0.75, 0.75)
+    """
+    bids = as_float_array(bids, "bids")
+    check_positive(bids, "bids")
+    if executions is None:
+        executions = bids
+    else:
+        executions = as_float_array(executions, "executions")
+        check_positive(executions, "executions")
+        if executions.size != bids.size:
+            raise ValueError("executions must have one entry per agent")
+    inv = 1.0 / bids
+    weighted = executions * inv * inv
+    return inv.sum() - inv, weighted.sum() - weighted
+
+
 def utility_kernel(
     bids,
     executions,
-    s_minus: float,
-    q_minus: float,
+    s_minus,
+    q_minus,
     arrival_rate: float,
     *,
     compensation: str = "observed",
@@ -164,6 +198,8 @@ def utility_kernel(
 
     ``bids`` and ``executions`` may be scalars or arrays of any
     broadcast-compatible shapes; the result has the broadcast shape.
+    ``s_minus``/``q_minus`` broadcast too (pass per-row columns from
+    :func:`sufficient_statistics_all` to score all agents at once).
     Cost is O(1) per evaluated candidate, independent of ``n``.
 
     Examples

@@ -180,31 +180,37 @@ def simulate_learning(
         outcome = mechanism.run(bids, arrival_rate, true_values)
         latencies[round_index] = outcome.realised_latency
 
-        for i, learner in enumerate(learners):
-            if method == "vectorized":
-                # Learners execute at capacity, so the leave-one-out
-                # statistics use the true values as executions.
-                s_minus, q_minus = kernels.sufficient_statistics(
-                    bids, true_values, agent=i
-                )
-                utilities = kernels.utility_kernel(
-                    grid * true_values[i],
-                    float(true_values[i]),
-                    s_minus,
-                    q_minus,
-                    arrival_rate,
-                    compensation=compensation,
-                )
-            else:
-                utilities = np.empty(grid.size)
+        if method == "vectorized":
+            # Learners execute at capacity, so the leave-one-out
+            # statistics use the true values as executions.  One
+            # (n, K) broadcast scores every agent's whole
+            # counterfactual grid; each row is bit-identical to the
+            # former per-agent kernel call.
+            s_minus, q_minus = kernels.sufficient_statistics_all(
+                bids, true_values
+            )
+            all_utilities = kernels.utility_kernel(
+                grid[None, :] * true_values[:, None],
+                true_values[:, None],
+                s_minus[:, None],
+                q_minus[:, None],
+                arrival_rate,
+                compensation=compensation,
+            )
+        else:
+            all_utilities = np.empty((n, grid.size))
+            for i in range(n):
                 for k, factor in enumerate(grid):
                     candidate = bids.copy()
                     candidate[i] = factor * true_values[i]
                     counterfactual = mechanism.run(
                         candidate, arrival_rate, true_values
                     )
-                    utilities[k] = float(counterfactual.payments.utility[i])
-            learner.update(utilities)
+                    all_utilities[i, k] = float(
+                        counterfactual.payments.utility[i]
+                    )
+        for i, learner in enumerate(learners):
+            learner.update(all_utilities[i])
             mass_history[round_index, i] = learner.truthful_mass
 
     return LearningTrace(

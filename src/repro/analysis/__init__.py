@@ -31,8 +31,10 @@ from repro.analysis.sensitivity import (
 )
 from repro.analysis.wardrop import (
     WardropResult,
+    WardropSweep,
     wardrop_equilibrium,
     price_of_anarchy,
+    price_of_anarchy_sweep,
 )
 from repro.analysis.landscape import UtilityLandscape, utility_landscape
 from repro.analysis.collusion import (
@@ -57,8 +59,10 @@ __all__ = [
     "sweep_arrival_rate",
     "sweep_heterogeneity",
     "WardropResult",
+    "WardropSweep",
     "wardrop_equilibrium",
     "price_of_anarchy",
+    "price_of_anarchy_sweep",
     "UtilityLandscape",
     "utility_landscape",
     "CoalitionDeviation",

@@ -190,6 +190,7 @@ def _cmd_protocol(args: argparse.Namespace) -> str:
         duration=args.duration,
         rng=np.random.default_rng(args.seed),
         drop_probability=args.drop,
+        execution=args.execution,
     )
     rows = [
         ["jobs routed", result.jobs_routed],
@@ -618,6 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
     protocol.add_argument(
         "--drop", type=float, default=0.0,
         help="per-transmission message loss probability (uses reliable delivery)",
+    )
+    protocol.add_argument(
+        "--execution", choices=("event", "batched", "auto"), default="auto",
+        help="job execution engine (auto picks the batched fast path)",
     )
     protocol.set_defaults(func=_cmd_protocol)
 

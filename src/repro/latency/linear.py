@@ -70,6 +70,16 @@ class LinearLatencyModel(LatencyModel):
 
     # ------------------------------------------------------------ utilities
 
+    def per_job_inverse(self, level: float | np.ndarray) -> np.ndarray:
+        """Load at which each machine's *per-job* latency equals ``level``.
+
+        Broadcastable (a ``(G, 1)`` level column yields a ``(G, n)``
+        load matrix), which is what lets the Wardrop sweep bisect every
+        arrival-rate grid point at once.
+        """
+        level = np.asarray(level, dtype=np.float64)
+        return np.maximum(level / self._t, 0.0)
+
     def restricted_to(self, mask: np.ndarray) -> "LinearLatencyModel":
         """A model over the machine subset selected by boolean ``mask``."""
         mask = np.asarray(mask, dtype=bool)

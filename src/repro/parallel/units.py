@@ -71,6 +71,11 @@ class ExperimentUnit:
         Index of the machine the factors apply to (C1 by default).
     duration:
         Job-generation window of a protocol unit (simulated seconds).
+    execution:
+        Job execution engine of a protocol unit (``"event"``,
+        ``"batched"``, or ``"auto"``; see
+        :func:`~repro.protocol.run_protocol`).  Campaigns default to
+        ``"auto"`` so protocol units take the batched fast path.
     """
 
     kind: str
@@ -83,6 +88,7 @@ class ExperimentUnit:
     seed: int = 0
     manipulator: int = 0
     duration: float = 200.0
+    execution: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -109,6 +115,17 @@ class ExperimentUnit:
             raise ValueError("manipulator out of range")
         if self.duration <= 0.0:
             raise ValueError("duration must be positive")
+        from repro.protocol.execution import EXECUTION_MODES, resolve_execution
+
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_MODES}, "
+                f"got {self.execution!r}"
+            )
+        # Normalised at construction: "auto" and the engine it picks can
+        # only produce identical payloads, so they must compare equal,
+        # share one cache entry, and survive the as_config round trip.
+        object.__setattr__(self, "execution", resolve_execution(self.execution))
 
     def as_config(self) -> dict:
         """The result-affecting fields, as a canonicalisable dict.
@@ -130,6 +147,7 @@ class ExperimentUnit:
         if self.kind == "protocol":
             config["seed"] = self.seed
             config["duration"] = self.duration
+            config["execution"] = self.execution  # already resolved
         return config
 
     @classmethod
@@ -314,6 +332,7 @@ def _execute_protocol(unit: ExperimentUnit) -> dict:
         duration=unit.duration,
         mechanism=mechanism,
         rng=np.random.default_rng(unit.seed),
+        execution=unit.execution,
     )
 
     payload = _payload_from_outcome(result.outcome)

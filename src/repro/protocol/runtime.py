@@ -29,10 +29,11 @@ from repro.protocol.coordinator import (
     MechanismCoordinator,
     ProtocolPhase,
 )
+from repro.protocol.execution import dispatch_batched, resolve_execution
 from repro.protocol.network import NetworkStats, SimulatedNetwork
 from repro.system.des import Simulator
 from repro.system.machine import LinearLatencyMachine
-from repro.system.workload import PoissonWorkload, split_workload
+from repro.system.workload import PoissonWorkload, split_assignments, split_workload
 from repro.types import MechanismOutcome
 
 __all__ = ["ProtocolResult", "run_protocol"]
@@ -78,6 +79,7 @@ def run_protocol(
     rng: np.random.Generator | None = None,
     deterministic_service: bool = False,
     drop_probability: float = 0.0,
+    execution: str = "auto",
 ) -> ProtocolResult:
     """Simulate one full round of the load balancing protocol.
 
@@ -108,6 +110,16 @@ def run_protocol(
         (the application still sees exactly-once delivery, and
         ``ProtocolResult.network.total_messages`` counts payloads, not
         retransmissions).
+    execution:
+        Job execution engine: ``"event"`` schedules two heap events per
+        job (the classic discrete-event path), ``"batched"`` runs the
+        whole job lifecycle through
+        :func:`~repro.protocol.execution.dispatch_batched` (one
+        vectorised draw per stage, one horizon event total), and
+        ``"auto"`` (default) picks batched whenever the machines
+        support it (DESIGN.md §11).  With ``deterministic_service=True``
+        the two engines are bit-identical; with stochastic service they
+        agree to statistical tolerance.
     """
     if len(agents) == 0:
         raise ValueError(
@@ -122,6 +134,7 @@ def run_protocol(
         )
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
     duration = check_positive_scalar(duration, "duration")
+    execution = resolve_execution(execution)
     if mechanism is None:
         mechanism = VerificationMechanism()
     if rng is None:
@@ -136,6 +149,7 @@ def run_protocol(
             rng=rng,
             deterministic_service=deterministic_service,
             drop_probability=drop_probability,
+            execution=execution,
         )
     observe_value("protocol.jobs_routed", result.jobs_routed)
     return result
@@ -150,6 +164,7 @@ def _run_round(
     rng: np.random.Generator,
     deterministic_service: bool,
     drop_probability: float,
+    execution: str,
 ) -> ProtocolResult:
     """The round body :func:`run_protocol` wraps with instrumentation."""
     sim = Simulator()
@@ -161,11 +176,20 @@ def _run_round(
         network = SimulatedNetwork(sim)
 
     sampler = (lambda mean, _rng: mean) if deterministic_service else None
+    batch_sampler = (
+        (lambda mean, size, _rng: np.full(size, mean))
+        if deterministic_service
+        else None
+    )
     names = [f"C{i + 1}" for i in range(len(agents))]
     nodes: list[MachineNode] = []
     for name, agent in zip(names, agents):
         machine = LinearLatencyMachine(
-            name, agent.execution_value(), rng, service_sampler=sampler
+            name,
+            agent.execution_value(),
+            rng,
+            service_sampler=sampler,
+            batch_service_sampler=batch_sampler,
         )
         node = MachineNode(name=name, agent=agent, machine=machine, network=network)
         network.register(name, node.handle)
@@ -182,10 +206,19 @@ def _run_round(
         for node, load in zip(nodes, loads):
             node.machine.configure(float(load))
         workload = PoissonWorkload(arrival_rate, rng)
+        start = sim.now
+        if execution == "batched":
+            times = workload.generate_times(duration)
+            assignments = split_assignments(
+                int(times.size), loads / loads.sum(), rng
+            )
+            jobs_routed = dispatch_batched(
+                sim, [node.machine for node in nodes], start + times, assignments
+            )
+            return
         jobs = workload.generate(duration)
         jobs_routed = len(jobs)
         buckets = split_workload(jobs, loads / loads.sum(), rng)
-        start = sim.now
         for node, bucket in zip(nodes, buckets):
             for job in bucket:
                 sim.schedule_at(

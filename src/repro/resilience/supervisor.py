@@ -63,8 +63,9 @@ from repro.resilience.checkpoint import CheckpointStore, CoordinatorCheckpoint
 from repro.resilience.quarantine import CircuitState, QuarantinePolicy
 from repro.resilience.retry import BackoffPolicy
 from repro.system.des import Simulator
+from repro.protocol.execution import dispatch_batched, resolve_execution
 from repro.system.machine import LinearLatencyMachine
-from repro.system.workload import PoissonWorkload, split_workload
+from repro.system.workload import PoissonWorkload, split_assignments, split_workload
 from repro.types import AllocationResult, MechanismOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (chaos imports us)
@@ -536,6 +537,11 @@ class RoundSupervisor:
         sharp; set ``False`` for stochastic service.
     rng:
         Randomness source for workloads, retries, and service noise.
+    execution:
+        Job execution engine per round, as in
+        :func:`~repro.protocol.run_protocol`: ``"event"``,
+        ``"batched"``, or ``"auto"`` (default; resolves to the batched
+        engine — bit-identical under deterministic service).
     """
 
     def __init__(
@@ -554,6 +560,7 @@ class RoundSupervisor:
         deterministic_service: bool = True,
         rng: np.random.Generator | None = None,
         machine_names: Sequence[str] | None = None,
+        execution: str = "auto",
     ) -> None:
         if len(agents) < 2:
             raise ValueError("the supervisor needs at least two machines")
@@ -578,6 +585,7 @@ class RoundSupervisor:
             raise ValueError("detector_slack must be non-negative")
         self.detector_slack = float(detector_slack)
         self.deterministic_service = bool(deterministic_service)
+        self.execution = resolve_execution(execution)
         self._rng = rng if rng is not None else np.random.default_rng(0)
         for name in machine_names:
             self.quarantine.admit(name)
@@ -708,6 +716,11 @@ class RoundSupervisor:
         sampler = (
             (lambda mean, _rng: mean) if self.deterministic_service else None
         )
+        batch_sampler = (
+            (lambda mean, size, _rng: np.full(size, mean))
+            if self.deterministic_service
+            else None
+        )
         nodes: dict[str, _SupervisedNode] = {}
         for name in admitted:
             agent = self.agents[name]
@@ -716,7 +729,11 @@ class RoundSupervisor:
             if fault is not None and fault.kind == "slow_execution":
                 execution_value *= fault.slowdown
             machine = LinearLatencyMachine(
-                name, execution_value, self._rng, service_sampler=sampler
+                name,
+                execution_value,
+                self._rng,
+                service_sampler=sampler,
+                batch_service_sampler=batch_sampler,
             )
             node = _SupervisedNode(
                 MachineNode(name=name, agent=agent, machine=machine, network=network),
@@ -734,10 +751,22 @@ class RoundSupervisor:
             for name, load in zip(names, loads):
                 nodes[name].machine.configure(float(load))
             workload = PoissonWorkload(self.arrival_rate, self._rng)
+            start = sim.now
+            if self.execution == "batched":
+                times = workload.generate_times(self.duration)
+                assignments = split_assignments(
+                    int(times.size), loads / loads.sum(), self._rng
+                )
+                jobs_routed = dispatch_batched(
+                    sim,
+                    [nodes[name].machine for name in names],
+                    start + times,
+                    assignments,
+                )
+                return
             jobs = workload.generate(self.duration)
             jobs_routed = len(jobs)
             buckets = split_workload(jobs, loads / loads.sum(), self._rng)
-            start = sim.now
             for name, bucket in zip(names, buckets):
                 node = nodes[name]
                 for job in bucket:

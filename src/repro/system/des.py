@@ -30,30 +30,55 @@ class Event:
     seq: int
     handler: Callable[["Simulator"], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _on_cancel: Callable[[], None] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it surfaces."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+
+    def _detach(self) -> None:
+        # Once an event leaves the queue live, cancelling the stale
+        # handle must not disturb the queue's live count.
+        self._on_cancel = None
 
 
 class EventQueue:
-    """Priority queue of events with lazy cancellation."""
+    """Priority queue of events with lazy cancellation.
+
+    ``__len__``/``__bool__`` are O(1): a live-event counter is bumped on
+    push and decremented the moment an event is cancelled or popped
+    live, so no scan over lazily-cancelled heap entries is ever needed.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, handler: Callable[["Simulator"], None]) -> Event:
         """Schedule ``handler`` at ``time`` and return the event handle."""
         event = Event(time=time, seq=next(self._counter), handler=handler)
+        event._on_cancel = self._note_cancel
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
 
     def pop(self) -> Event | None:
         """Next non-cancelled event, or ``None`` when empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event._detach()
                 return event
         return None
 
@@ -64,10 +89,10 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return self._live > 0
 
 
 class Simulator:

@@ -17,7 +17,13 @@ import numpy as np
 
 from repro._validation import check_positive_scalar
 
-__all__ = ["Job", "PoissonWorkload", "DeterministicWorkload", "split_workload"]
+__all__ = [
+    "Job",
+    "PoissonWorkload",
+    "DeterministicWorkload",
+    "split_workload",
+    "split_assignments",
+]
 
 
 @dataclass(frozen=True)
@@ -43,16 +49,22 @@ class PoissonWorkload:
         self.rate = check_positive_scalar(rate, "rate")
         self._rng = rng
 
-    def generate(self, duration: float) -> list[Job]:
-        """All jobs arriving in ``[0, duration)``.
+    def generate_times(self, duration: float) -> np.ndarray:
+        """Sorted arrival times in ``[0, duration)`` as one array.
 
         Draws the count from Poisson(rate * duration) and positions
         uniformly — equivalent to sequential exponential gaps but one
-        vectorised draw instead of a Python loop.
+        vectorised draw instead of a Python loop.  This is the batched
+        execution engine's entry point; :meth:`generate` wraps it, so
+        both consume the identical RNG stream.
         """
         duration = check_positive_scalar(duration, "duration")
         count = int(self._rng.poisson(self.rate * duration))
-        times = np.sort(self._rng.uniform(0.0, duration, size=count))
+        return np.sort(self._rng.uniform(0.0, duration, size=count))
+
+    def generate(self, duration: float) -> list[Job]:
+        """All jobs arriving in ``[0, duration)`` as :class:`Job` objects."""
+        times = self.generate_times(duration)
         return [Job(job_id=i, arrival_time=float(t)) for i, t in enumerate(times)]
 
     def arrival_iter(self, duration: float) -> Iterator[Job]:
@@ -66,11 +78,15 @@ class DeterministicWorkload:
     def __init__(self, rate: float) -> None:
         self.rate = check_positive_scalar(rate, "rate")
 
-    def generate(self, duration: float) -> list[Job]:
-        """Jobs at ``k / rate`` for every ``k`` with ``k / rate < duration``."""
+    def generate_times(self, duration: float) -> np.ndarray:
+        """Arrival times at ``k / rate`` for every ``k / rate < duration``."""
         duration = check_positive_scalar(duration, "duration")
         count = int(np.floor(self.rate * duration))
-        times = np.arange(count, dtype=np.float64) / self.rate
+        return np.arange(count, dtype=np.float64) / self.rate
+
+    def generate(self, duration: float) -> list[Job]:
+        """Jobs at ``k / rate`` for every ``k`` with ``k / rate < duration``."""
+        times = self.generate_times(duration)
         return [Job(job_id=i, arrival_time=float(t)) for i, t in enumerate(times)]
 
 
@@ -94,6 +110,25 @@ def split_workload(
     rng:
         Random generator for the routing draws.
     """
+    choices = split_assignments(len(jobs), fractions, rng)
+    buckets: list[list[Job]] = [[] for _ in range(int(np.asarray(fractions).size))]
+    for job, machine in zip(jobs, choices):
+        buckets[int(machine)].append(job)
+    return buckets
+
+
+def split_assignments(
+    count: int,
+    fractions: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Machine index for each of ``count`` jobs, drawn in one call.
+
+    The vectorised core of :func:`split_workload`: validates the
+    routing probabilities and draws all assignments with a single
+    ``rng.choice``, so the batched execution engine consumes exactly
+    the RNG stream the per-job event path consumes.
+    """
     fractions = np.asarray(fractions, dtype=np.float64)
     if fractions.ndim != 1 or fractions.size == 0:
         raise ValueError("fractions must be a non-empty 1-D array")
@@ -102,12 +137,6 @@ def split_workload(
     total = float(fractions.sum())
     if abs(total - 1.0) > 1e-9:
         raise ValueError(f"fractions must sum to 1, got {total:g}")
-
-    n = fractions.size
-    buckets: list[list[Job]] = [[] for _ in range(n)]
-    if not jobs:
-        return buckets
-    choices = rng.choice(n, size=len(jobs), p=fractions / total)
-    for job, machine in zip(jobs, choices):
-        buckets[int(machine)].append(job)
-    return buckets
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(fractions.size, size=count, p=fractions / total)

@@ -237,3 +237,57 @@ class TestPaperSystemRegression:
         )
         assert observed.truthful_is_equilibrium()
         assert not declared.truthful_is_equilibrium()
+
+
+class TestSufficientStatisticsAll:
+    """The vectorised aggregates behind the batched learning round."""
+
+    def test_bit_identical_to_the_scalar_version(self):
+        cluster = paper_cluster()
+        bids = cluster.true_values * 1.3
+        executions = cluster.true_values
+        s_all, q_all = kernels.sufficient_statistics_all(bids, executions)
+        for i in range(bids.size):
+            s_i, q_i = sufficient_statistics(bids, executions, agent=i)
+            assert s_all[i] == s_i
+            assert q_all[i] == q_i
+
+    def test_executions_default_to_bids_like_the_scalar_version(self):
+        bids = np.array([1.0, 2.0, 4.0])
+        assert np.array_equal(
+            kernels.sufficient_statistics_all(bids)[1],
+            kernels.sufficient_statistics_all(bids, bids)[1],
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_identity_on_random_profiles(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        bids = rng.uniform(0.5, 10.0, n)
+        executions = rng.uniform(0.5, 10.0, n)
+        s_all, q_all = kernels.sufficient_statistics_all(bids, executions)
+        for i in range(n):
+            s_i, q_i = sufficient_statistics(bids, executions, agent=i)
+            assert s_all[i] == s_i
+            assert q_all[i] == q_i
+
+    def test_broadcast_rows_match_per_agent_kernel_calls(self):
+        # The (n, K) learning broadcast must reproduce each agent's
+        # 1-D kernel call bit-for-bit.
+        cluster = paper_cluster()
+        t = cluster.true_values
+        grid = np.array([0.5, 1.0, 2.0])
+        s_all, q_all = kernels.sufficient_statistics_all(t, t)
+        broadcast = utility_kernel(
+            grid[None, :] * t[:, None], t[:, None],
+            s_all[:, None], q_all[:, None], PAPER_ARRIVAL_RATE,
+            compensation="observed",
+        )
+        for i in range(t.size):
+            row = utility_kernel(
+                grid * t[i], np.full(grid.size, t[i]),
+                s_all[i], q_all[i], PAPER_ARRIVAL_RATE,
+                compensation="observed",
+            )
+            assert np.array_equal(broadcast[i], row)

@@ -100,3 +100,32 @@ class TestLearningDynamics:
             simulate_learning(
                 VerificationMechanism(), np.array([1.0, 2.0]), 5.0, rng, rounds=0
             )
+
+
+class TestBatchedKernelRound:
+    """The (n, K) broadcast scores the same utilities as the slow path."""
+
+    def test_vectorized_trace_matches_bruteforce(self):
+        t = np.array([1.0, 2.0, 5.0])
+        fast = simulate_learning(
+            VerificationMechanism(), t, 6.0,
+            np.random.default_rng(3), rounds=40,
+        )
+        slow = simulate_learning(
+            VerificationMechanism(), t, 6.0,
+            np.random.default_rng(3), rounds=40, method="bruteforce",
+        )
+        # Same rng stream, same utilities (to kernel tolerance), so the
+        # Hedge weights — and everything derived — track each other.
+        assert np.allclose(fast.truthful_mass, slow.truthful_mass, rtol=1e-9)
+        assert np.allclose(
+            fast.realised_latency, slow.realised_latency, rtol=1e-9
+        )
+        assert np.array_equal(fast.modal_factors, slow.modal_factors)
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValueError, match="method"):
+            simulate_learning(
+                VerificationMechanism(), np.array([1.0, 2.0]), 5.0, rng,
+                rounds=1, method="gpu",
+            )

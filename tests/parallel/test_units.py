@@ -147,3 +147,35 @@ class TestExecuteUnit:
 
         payload = execute_unit(paper_unit(kind="protocol", duration=20.0))
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestExecutionEngineField:
+    """Protocol units carry the job execution engine into the cache key."""
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError, match="execution must be"):
+            paper_unit(kind="protocol", execution="bogus")
+
+    def test_auto_and_batched_share_one_cache_entry(self):
+        auto = paper_unit(kind="protocol", execution="auto")
+        batched = paper_unit(kind="protocol", execution="batched")
+        assert auto.as_config()["execution"] == "batched"
+        assert unit_cache_key(auto) == unit_cache_key(batched)
+
+    def test_event_engine_gets_its_own_cache_entry(self):
+        event = paper_unit(kind="protocol", execution="event")
+        auto = paper_unit(kind="protocol")
+        assert unit_cache_key(event) != unit_cache_key(auto)
+
+    def test_scenario_config_omits_the_engine(self):
+        # Scenario units run the closed-form mechanism: no job stream,
+        # so the engine must not perturb their cache keys.
+        assert "execution" not in paper_unit().as_config()
+
+    def test_batched_protocol_payload_executes(self):
+        unit = paper_unit(
+            kind="protocol", seed=3, duration=20.0, execution="batched"
+        )
+        payload = execute_unit(unit)
+        assert payload["jobs_routed"] > 0
+        assert len(payload["estimated_execution_values"]) == 16

@@ -56,6 +56,52 @@ class TestEventQueue:
         assert q
 
 
+class TestLiveCounter:
+    """The O(1) size counter stays exact through every lifecycle path."""
+
+    def test_consistent_through_push_cancel_pop(self):
+        q = EventQueue()
+        events = [q.push(float(k), lambda s: None) for k in range(10)]
+        assert len(q) == 10
+        for event in events[::2]:
+            event.cancel()
+        assert len(q) == 5
+        popped = 0
+        while q.pop() is not None:
+            popped += 1
+            assert len(q) == 5 - popped
+        assert popped == 5
+        assert len(q) == 0 and not q
+
+    def test_double_cancel_decrements_once(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda s: None)
+        q.push(2.0, lambda s: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_is_harmless(self):
+        # A stale handle to an already-delivered event must not push
+        # the live count negative.
+        q = EventQueue()
+        event = q.push(1.0, lambda s: None)
+        q.push(2.0, lambda s: None)
+        assert q.pop() is event
+        event.cancel()
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert len(q) == 0
+
+    def test_peek_pruning_keeps_count_consistent(self):
+        q = EventQueue()
+        head = q.push(1.0, lambda s: None)
+        q.push(2.0, lambda s: None)
+        head.cancel()
+        assert q.peek_time() == 2.0  # prunes the cancelled head
+        assert len(q) == 1
+
+
 class TestSimulator:
     def test_clock_advances_with_events(self):
         sim = Simulator()

@@ -78,6 +78,86 @@ class TestLinearLatencyMachine:
         assert np.isnan(stats.mean_sojourn)
 
 
+class TestSubmitBatch:
+    def test_deterministic_batch_matches_per_job_exactly(self):
+        sampler = lambda mean, r: mean
+        batch_sampler = lambda mean, size, r: np.full(size, mean)
+        per_job = LinearLatencyMachine(
+            "C1", 2.0, np.random.default_rng(1), service_sampler=sampler
+        )
+        batched = LinearLatencyMachine(
+            "C1", 2.0, np.random.default_rng(1),
+            service_sampler=sampler, batch_service_sampler=batch_sampler,
+        )
+        per_job.configure(1.5)
+        batched.configure(1.5)
+        jobs = PoissonWorkload(1.5, np.random.default_rng(2)).generate(50.0)
+        _drive(per_job, jobs)
+        batched.submit_batch(np.array([j.arrival_time for j in jobs]))
+        # Bit-identical floats, not approximately equal: the batched
+        # path records (arrival + duration) - arrival on purpose.
+        assert batched.sojourn_times == per_job.sojourn_times
+        assert batched._busy_time == per_job._busy_time
+
+    def test_default_sampler_draws_one_exponential_block(self, rng):
+        machine = LinearLatencyMachine("C1", 2.0, np.random.default_rng(3))
+        machine.configure(3.0)
+        arrivals = np.sort(np.random.default_rng(4).uniform(0, 3000.0, 9000))
+        completions = machine.submit_batch(arrivals)
+        assert completions.shape == arrivals.shape
+        assert np.all(completions >= arrivals)
+        assert machine.stats().mean_sojourn == pytest.approx(6.0, rel=0.05)
+
+    def test_custom_scalar_sampler_falls_back_to_a_loop(self):
+        calls = []
+
+        def sampler(mean, r):
+            calls.append(mean)
+            return mean
+
+        machine = LinearLatencyMachine(
+            "C1", 2.0, np.random.default_rng(5), service_sampler=sampler
+        )
+        machine.configure(1.0)
+        machine.submit_batch(np.array([0.0, 1.0, 2.0]))
+        assert calls == [2.0, 2.0, 2.0]
+
+    def test_empty_batch_is_a_no_op(self, rng):
+        machine = LinearLatencyMachine("C1", 1.0, rng)
+        machine.configure(1.0)
+        assert machine.submit_batch(np.empty(0)).size == 0
+        assert machine.stats().is_empty
+
+    def test_unconfigured_machine_rejected(self, rng):
+        machine = LinearLatencyMachine("C1", 1.0, rng)
+        with pytest.raises(RuntimeError, match="not configured"):
+            machine.submit_batch(np.array([0.0]))
+
+    def test_zero_load_refuses_jobs(self, rng):
+        machine = LinearLatencyMachine("C1", 1.0, rng)
+        machine.configure(0.0)
+        with pytest.raises(RuntimeError, match="zero load"):
+            machine.submit_batch(np.array([0.0]))
+
+    def test_bad_batch_sampler_shape_rejected(self, rng):
+        machine = LinearLatencyMachine(
+            "C1", 1.0, rng,
+            batch_service_sampler=lambda mean, size, r: np.zeros(size + 1),
+        )
+        machine.configure(1.0)
+        with pytest.raises(ValueError, match="durations"):
+            machine.submit_batch(np.array([0.0, 1.0]))
+
+    def test_negative_batch_duration_rejected(self, rng):
+        machine = LinearLatencyMachine(
+            "C1", 1.0, rng,
+            batch_service_sampler=lambda mean, size, r: np.full(size, -1.0),
+        )
+        machine.configure(1.0)
+        with pytest.raises(ValueError, match="negative"):
+            machine.submit_batch(np.array([0.0]))
+
+
 class TestQueueingMachine:
     def test_mm1_sojourn_matches_theory(self, rng):
         # M/M/1 at rho = 0.5: sojourn = 1/(mu - x) = 1.

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.system import DeterministicWorkload, PoissonWorkload, split_workload
+from repro.system.workload import split_assignments
 from repro.system.workload import Job
 
 
@@ -101,3 +102,52 @@ class TestSplitWorkload:
         for bucket in buckets:
             ids = [j.job_id for j in bucket]
             assert ids == sorted(ids)
+
+
+class TestGenerateTimes:
+    """The array entry point the batched execution engine uses."""
+
+    def test_same_stream_as_generate(self):
+        times = PoissonWorkload(20.0, np.random.default_rng(6)).generate_times(10.0)
+        jobs = PoissonWorkload(20.0, np.random.default_rng(6)).generate(10.0)
+        assert np.array_equal(times, np.array([j.arrival_time for j in jobs]))
+
+    def test_sorted_and_in_window(self, rng):
+        times = PoissonWorkload(30.0, rng).generate_times(5.0)
+        assert np.all(np.diff(times) >= 0.0)
+        assert np.all((times >= 0.0) & (times < 5.0))
+
+    def test_deterministic_times_match_generate(self):
+        workload = DeterministicWorkload(4.0)
+        times = workload.generate_times(2.5)
+        assert np.array_equal(
+            times, np.array([j.arrival_time for j in workload.generate(2.5)])
+        )
+        assert np.array_equal(times, np.arange(10) / 4.0)
+
+
+class TestSplitAssignments:
+    """The vectorised routing core shared by both execution engines."""
+
+    def test_same_buckets_as_split_workload(self):
+        jobs = [Job(i, float(i)) for i in range(300)]
+        fractions = np.array([0.2, 0.5, 0.3])
+        buckets = split_workload(jobs, fractions, np.random.default_rng(8))
+        choices = split_assignments(len(jobs), fractions, np.random.default_rng(8))
+        for machine, bucket in enumerate(buckets):
+            assert [j.job_id for j in bucket] == list(np.flatnonzero(choices == machine))
+
+    def test_empty_stream_consumes_no_randomness(self):
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        empty = split_assignments(0, np.array([0.5, 0.5]), rng_a)
+        assert empty.size == 0 and empty.dtype == np.int64
+        assert rng_a.integers(0, 1 << 30) == rng_b.integers(0, 1 << 30)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            split_assignments(5, np.array([[0.5, 0.5]]), rng)
+        with pytest.raises(ValueError, match="non-negative"):
+            split_assignments(5, np.array([1.5, -0.5]), rng)
+        with pytest.raises(ValueError, match="sum to 1"):
+            split_assignments(5, np.array([0.5, 0.6]), rng)
