@@ -10,6 +10,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro multi-liar --max-liars 8
     repro poa --intercepts 1,0 --slopes 0.000001,1 --rate 1
     repro resilience --rounds 50 --machines 8 --seed 0
+    repro remediate --scenario all --seed 0
     repro metrics --rounds 10 --machines 8 --chaos --json
     repro campaign --workers 4 --seeds 10 --cache-dir .repro-cache
     repro campaign --no-resume       # recompute, but refresh the cache
@@ -303,6 +304,73 @@ def _cmd_resilience(args: argparse.Namespace) -> str:
     return table
 
 
+def _cmd_remediate(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.experiments import render_table
+    from repro.remediation import default_scenarios, measure_mttr
+
+    scenarios = default_scenarios()
+    if args.scenario != "all":
+        scenarios = [s for s in scenarios if s.name == args.scenario]
+        if not scenarios:
+            known = ", ".join(s.name for s in default_scenarios())
+            raise ValueError(
+                f"unknown scenario {args.scenario!r}; known: {known} (or 'all')"
+            )
+    comparison = measure_mttr(scenarios, seed=args.seed)
+
+    if args.json:
+        return json.dumps(
+            {
+                "mttr_on_rounds": comparison.mttr_on,
+                "mttr_off_rounds": comparison.mttr_off,
+                "improvement": comparison.improvement,
+                "violations_from_actions": comparison.violations_from_actions,
+                "scenarios": [
+                    {
+                        "name": on.scenario,
+                        "mttr_on": on.mttr_rounds,
+                        "mttr_off": off.mttr_rounds,
+                        "recovery_round_on": on.recovery_round,
+                        "recovery_round_off": off.recovery_round,
+                        "actions_applied": on.actions_applied,
+                        "actions_rejected": on.actions_rejected,
+                        "violations_on": on.violations,
+                        "violations_off": off.violations,
+                    }
+                    for on, off in zip(comparison.runs_on, comparison.runs_off)
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    rows = [
+        [
+            on.scenario,
+            f"{off.mttr_rounds:g}",
+            f"{on.mttr_rounds:g}",
+            on.actions_applied,
+            on.actions_rejected,
+            on.violations,
+        ]
+        for on, off in zip(comparison.runs_on, comparison.runs_off)
+    ]
+    table = render_table(
+        ["scenario", "MTTR off", "MTTR on", "applied", "rejected", "violations"],
+        rows,
+        title=f"Auto-remediation MTTR (rounds to recovery), seed {args.seed}.",
+    )
+    table += (
+        f"\n\nMean MTTR: {comparison.mttr_off:g} rounds without remediation, "
+        f"{comparison.mttr_on:g} with ({comparison.improvement:.1f}x faster); "
+        f"{comparison.violations_from_actions} invariant violations from "
+        f"applied actions."
+    )
+    return table
+
+
 def _fmt_seconds(value: float | None) -> str:
     """Render a seconds value for the span table (µs precision)."""
     return "-" if value is None else f"{value * 1e6:,.0f}µs"
@@ -353,8 +421,44 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
     if args.trace is not None:
         exported = instr.tracer.export_jsonl(args.trace)
 
+    # The circuit breaker's end state is part of the story a metrics
+    # run tells (which machines ended quarantined and why), but lives
+    # on the supervisor, not in the instrumentation snapshot.
+    quarantine_rows = []
+    if not args.campaign:
+        for name in supervisor.quarantine.machine_names:
+            health = supervisor.quarantine.health_of(name)
+            quarantine_rows.append(
+                [
+                    name,
+                    health.state.value,
+                    f"{health.reputation:.3f}",
+                    health.cooldown_remaining,
+                    health.failures_total,
+                    health.times_opened,
+                ]
+            )
+
     if args.json:
-        return json.dumps(instr.snapshot(), indent=2, sort_keys=True)
+        payload = instr.snapshot()
+        if not args.campaign:
+            payload["quarantine"] = {
+                name: {
+                    "state": supervisor.quarantine.health_of(name).state.value,
+                    "reputation": supervisor.quarantine.health_of(name).reputation,
+                    "cooldown_remaining": (
+                        supervisor.quarantine.health_of(name).cooldown_remaining
+                    ),
+                    "failures_total": (
+                        supervisor.quarantine.health_of(name).failures_total
+                    ),
+                    "times_opened": (
+                        supervisor.quarantine.health_of(name).times_opened
+                    ),
+                }
+                for name in supervisor.quarantine.machine_names
+            }
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     spans = instr.tracer.summary()
     span_rows = [
@@ -406,6 +510,25 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
     ]
     if gauge_rows:
         parts.append(render_table(["gauge", "value"], gauge_rows, title="Gauges."))
+    if quarantine_rows:
+        events_skipped = next(
+            (
+                g["value"]
+                for g in snapshot["gauges"]
+                if g["name"] == "protocol.events_skipped"
+            ),
+            0.0,
+        )
+        parts.append(
+            render_table(
+                ["machine", "state", "reputation", "cooldown", "failures", "opened"],
+                quarantine_rows,
+                title="Quarantine circuit states (end of run).",
+            )
+        )
+        parts.append(
+            f"Batched engine events skipped (last round): {events_skipped:g}."
+        )
     if histogram_rows:
         parts.append(
             render_table(
@@ -683,6 +806,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export every finished span as JSON Lines to FILE",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    remediate = sub.add_parser(
+        "remediate",
+        help="measure auto-remediation MTTR on seeded degradation scenarios",
+    )
+    remediate.add_argument(
+        "--scenario", default="all",
+        help="one scenario name from the A23 suite, or 'all' (default)",
+    )
+    remediate.add_argument("--seed", type=int, default=0)
+    remediate.add_argument(
+        "--json", action="store_true",
+        help="emit the per-scenario MTTR comparison as JSON",
+    )
+    remediate.set_defaults(func=_cmd_remediate)
 
     verify = sub.add_parser("verify", help="check every recoverable paper claim")
     verify.set_defaults(func=_cmd_verify)

@@ -143,10 +143,25 @@ def detection_delay(
     """Jobs until detection of a machine running at ``true_execution_value``.
 
     Simulates the reference machine model (exponential sojourns with
-    mean ``t̃ x``) against a detector calibrated to the bid.  Returns
-    the number of completions before the alarm, or ``None`` if it never
-    fires within ``max_jobs`` (e.g. an honest machine).
+    mean ``t̃ x``) against a detector calibrated to the bid.
+
+    Returns
+    -------
+    int | None
+        The number of completions observed when the alarm fired —
+        between 1 and ``max_jobs`` inclusive (a detection exactly on
+        the last simulated job counts) — or **explicitly ``None``**
+        when the detector never fires within the ``max_jobs`` horizon
+        (e.g. an honest machine, or a slowdown inside the slack band).
+        ``None`` is a censored observation, not a large delay: callers
+        aggregating delays must filter it out (or treat it as
+        ``float("inf")``), never coerce it to 0 or to ``max_jobs``.
     """
+    if max_jobs < 1:
+        raise ValueError("max_jobs must be at least 1")
+    true_execution_value = check_positive_scalar(
+        true_execution_value, "true_execution_value"
+    )
     detector = CusumSlowdownDetector(
         declared_value, allocated_load, threshold=threshold, slack=slack
     )

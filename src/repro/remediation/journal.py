@@ -1,0 +1,349 @@
+"""Stage 4 of the remediation pipeline: risk, journal, at-most-once apply.
+
+Applying a remediation action is itself a mutation that can be
+interrupted — the process can die between mutating the quarantine
+policy and acknowledging the mutation.  The scheduler therefore treats
+the action queue exactly like the coordinator treats payments
+(:mod:`repro.resilience.checkpoint`): a **write-ahead journal** of
+serialised records, appended at every status transition:
+
+``proposed → verified | rejected``, then for verified actions
+``applying → applied | rolled_back``, with one extra terminal status —
+``abandoned`` — written by the *resume* path for any action whose last
+journaled status is ``applying``.  An ``applying`` record with no
+terminal successor means the process died somewhere between apply and
+ack; whether the mutation landed is unknowable from the journal alone,
+so re-applying would risk double application.  At-most-once semantics
+resolve the ambiguity in the safe direction: never re-apply, journal
+``abandoned``, and let the next detection cycle re-propose the repair
+from fresh evidence if it is still needed.
+
+The journal stores serialised JSON lines (like
+:class:`~repro.resilience.CheckpointStore`, anything that would not
+survive a real restart fails loudly in tests) and round-trips through
+``to_json``/``from_json`` with a schema-version field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.observability.instrumentation import annotate, record_counter
+from repro.remediation.actions import ActionApplier, RemediationAction
+from repro.remediation.shadow import ShadowVerdict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.supervisor import RoundSupervisor
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STATUSES",
+    "JournalRecord",
+    "ActionJournal",
+    "RiskScorer",
+    "SchedulerCrash",
+    "RemediationScheduler",
+]
+
+#: Journal serialisation format version; bump on incompatible change.
+SCHEMA_VERSION = 1
+
+#: Legal record statuses, in lifecycle order.
+STATUSES = (
+    "proposed",
+    "verified",
+    "rejected",
+    "applying",
+    "applied",
+    "rolled_back",
+    "abandoned",
+)
+
+#: Statuses after which an action's lifecycle is over.
+TERMINAL_STATUSES = ("rejected", "applied", "rolled_back", "abandoned")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One status transition of one action."""
+
+    sequence: int
+    action_id: str
+    status: str
+    action: Mapping[str, object] = field(default_factory=dict)
+    risk: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"status must be one of {STATUSES}")
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form (one journal line)."""
+        return {
+            "sequence": self.sequence,
+            "action_id": self.action_id,
+            "status": self.status,
+            "action": dict(self.action),
+            "risk": self.risk,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "JournalRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            sequence=int(payload["sequence"]),
+            action_id=str(payload["action_id"]),
+            status=str(payload["status"]),
+            action=dict(payload.get("action", {})),  # type: ignore[arg-type]
+            risk=float(payload.get("risk", 0.0)),
+            detail=str(payload.get("detail", "")),
+        )
+
+
+class ActionJournal:
+    """Append-only WAL of action status transitions.
+
+    Records are stored *serialised* (JSON lines), mirroring
+    :class:`~repro.resilience.CheckpointStore`: every append round-trips
+    through JSON so live objects cannot leak into the durable record.
+    """
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._sequence = 0
+
+    def append(
+        self,
+        action: RemediationAction,
+        status: str,
+        *,
+        risk: float = 0.0,
+        detail: str = "",
+    ) -> JournalRecord:
+        """Journal one status transition and return the record."""
+        record = JournalRecord(
+            sequence=self._sequence,
+            action_id=action.action_id,
+            status=status,
+            action=action.to_dict(),
+            risk=float(risk),
+            detail=detail,
+        )
+        self._sequence += 1
+        self._lines.append(json.dumps(record.to_dict()))
+        record_counter("remediation.journal_appends", status=status)
+        return record
+
+    def records(self) -> list[JournalRecord]:
+        """All records, oldest first (deserialised from storage)."""
+        return [JournalRecord.from_dict(json.loads(line)) for line in self._lines]
+
+    def last_status(self) -> dict[str, str]:
+        """Latest journaled status per action id."""
+        latest: dict[str, str] = {}
+        for record in self.records():
+            latest[record.action_id] = record.status
+        return latest
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    # ------------------------------------------------------- persistence
+
+    def to_json(self) -> str:
+        """Serialise the whole journal (with a schema-version field)."""
+        return json.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "records": [json.loads(line) for line in self._lines],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ActionJournal":
+        """Rebuild a journal persisted by :meth:`to_json`."""
+        raw = json.loads(payload)
+        version = raw.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported journal schema version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        journal = cls()
+        for entry in raw["records"]:
+            record = JournalRecord.from_dict(entry)  # validates status
+            journal._lines.append(json.dumps(record.to_dict()))
+            journal._sequence = max(journal._sequence, record.sequence + 1)
+        return journal
+
+
+class RiskScorer:
+    """Order verified actions so the safest repairs land first.
+
+    Risk is a base weight per action kind (how invasive the mutation
+    is) plus the shadow-predicted change in the verification gap — an
+    action whose dry run *shrank* the gap scores below its base
+    weight.  Lower is safer; the scheduler drains in ascending order.
+    """
+
+    BASE_WEIGHTS = {
+        "readmit": 0.2,
+        "reset_circuit": 0.3,
+        "sharpen_detector": 0.4,
+        "reweight": 0.5,
+        "requarantine": 0.6,
+        "void_round": 1.0,
+    }
+
+    def score(self, action: RemediationAction, verdict: ShadowVerdict) -> float:
+        """Risk of one verified action (lower drains first)."""
+        base = self.BASE_WEIGHTS.get(action.kind, 1.0)
+        baseline = verdict.baseline_excess
+        predicted = verdict.predicted_excess
+        if predicted < float("inf") and baseline < float("inf"):
+            base += predicted - baseline
+        return base
+
+
+class SchedulerCrash(RuntimeError):
+    """Injected scheduler failure: the process died between apply and ack."""
+
+
+class RemediationScheduler:
+    """Drain verified actions through the journal, at most once each.
+
+    The drain loop for each pending action is::
+
+        journal "applying"  →  apply  →  post-apply check  →
+            journal "applied"           (clean)
+            rollback + journal "rolled_back"   (check failed)
+
+    with ``fail_after_applies`` as the chaos hook that kills the
+    process *between* the apply and its acknowledging journal write —
+    the exact window the resume path must handle.
+    """
+
+    def __init__(
+        self,
+        journal: ActionJournal | None = None,
+        *,
+        scorer: RiskScorer | None = None,
+        applier: ActionApplier | None = None,
+        fail_after_applies: int | None = None,
+    ) -> None:
+        self.journal = journal if journal is not None else ActionJournal()
+        self.scorer = scorer if scorer is not None else RiskScorer()
+        self.applier = applier if applier is not None else ActionApplier()
+        self.fail_after_applies = fail_after_applies
+        self._applies = 0
+        #: action_id -> (action, risk) awaiting a drain.
+        self._pending: dict[str, tuple[RemediationAction, float]] = {}
+
+    # ------------------------------------------------------------ intake
+
+    def submit(self, action: RemediationAction, verdict: ShadowVerdict) -> float:
+        """Queue one shadow-accepted action; returns its risk score."""
+        risk = self.scorer.score(action, verdict)
+        self.journal.append(action, "proposed", risk=risk, detail=action.reason)
+        self.journal.append(action, "verified", risk=risk, detail=verdict.reason)
+        self._pending[action.action_id] = (action, risk)
+        return risk
+
+    def reject(self, action: RemediationAction, verdict: ShadowVerdict) -> None:
+        """Journal a shadow-rejected action (it never becomes pending)."""
+        self.journal.append(action, "proposed", detail=action.reason)
+        self.journal.append(action, "rejected", detail=verdict.reason)
+        record_counter("remediation.actions_rejected", kind=action.kind)
+
+    @property
+    def pending(self) -> list[RemediationAction]:
+        """Actions verified but not yet drained, safest first."""
+        return [
+            action
+            for action, _ in sorted(self._pending.values(), key=lambda p: p[1])
+        ]
+
+    # ------------------------------------------------------------- drain
+
+    def drain(self, supervisor: "RoundSupervisor") -> list[RemediationAction]:
+        """Apply every pending action in ascending risk order.
+
+        Returns the actions that ended ``applied``.  Raises
+        :class:`SchedulerCrash` mid-drain when the chaos hook fires;
+        the journal then holds an unacknowledged ``applying`` record
+        for :meth:`resume` to find.
+        """
+        applied: list[RemediationAction] = []
+        for action in self.pending:
+            _, risk = self._pending[action.action_id]
+            self.journal.append(action, "applying", risk=risk)
+            undo = self.applier.apply(supervisor, action)
+            self._applies += 1
+            if (
+                self.fail_after_applies is not None
+                and self._applies >= self.fail_after_applies
+            ):
+                raise SchedulerCrash(
+                    f"scheduler died after {self._applies} applies, "
+                    f"before acknowledging {action.action_id}"
+                )
+            problems = self.applier.post_apply_check(supervisor)
+            del self._pending[action.action_id]
+            if problems:
+                self.applier.rollback(supervisor, undo)
+                self.journal.append(
+                    action, "rolled_back", risk=risk, detail="; ".join(problems)
+                )
+                annotate(
+                    "remediation.rolled_back",
+                    action=action.action_id,
+                    problems="; ".join(problems),
+                )
+                continue
+            self.journal.append(action, "applied", risk=risk)
+            applied.append(action)
+        return applied
+
+    # ------------------------------------------------------------ resume
+
+    @classmethod
+    def resume(
+        cls,
+        journal: ActionJournal,
+        *,
+        scorer: RiskScorer | None = None,
+        applier: ActionApplier | None = None,
+    ) -> "RemediationScheduler":
+        """Rebuild a scheduler from a journal after a crash.
+
+        Per action (by latest journaled status):
+
+        * ``applying`` — the crash window: whether the mutation landed
+          is unknowable, so the action is journaled ``abandoned`` and
+          **never re-applied** (at-most-once);
+        * ``verified`` — safely re-queued for the next drain (its risk
+          is recovered from the journal record);
+        * any terminal status — left alone.
+        """
+        scheduler = cls(journal, scorer=scorer, applier=applier)
+        latest: dict[str, JournalRecord] = {}
+        for record in journal.records():
+            latest[record.action_id] = record
+        for action_id, record in latest.items():
+            action = RemediationAction.from_dict(record.action)
+            if record.status == "applying":
+                journal.append(
+                    action,
+                    "abandoned",
+                    risk=record.risk,
+                    detail="crash between apply and ack; not re-applied",
+                )
+                record_counter("remediation.actions_abandoned")
+                annotate("remediation.abandoned", action=action_id)
+            elif record.status == "verified":
+                scheduler._pending[action_id] = (action, record.risk)
+        return scheduler

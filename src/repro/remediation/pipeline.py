@@ -1,0 +1,191 @@
+"""The closed loop: detect → propose → shadow-verify → schedule → apply.
+
+:class:`RemediationPipeline` is the object a
+:class:`~repro.resilience.RoundSupervisor` is constructed with
+(``remediation=...``); the supervisor calls :meth:`process_round` after
+every completed round, and whatever actions survive the full pipeline
+mutate the supervisor *before the next round runs* — quarantining a
+verified-slow machine immediately instead of after
+``failure_threshold`` organic failures, re-pricing it at its verified
+execution value so its readmission probes come back clean, forgiving
+circuit trips caused by a lossy network, and voiding rounds outright
+when an invariant breaks.
+
+Every stage is instrumented (``remediation.{detect,propose,verify,
+schedule}`` spans and per-stage counters) and every decision is
+journaled, so a post-incident review can replay exactly what the loop
+saw, proposed, predicted, and did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.observability.instrumentation import record_counter, trace_span
+from repro.remediation.actions import (
+    ActionApplier,
+    ActionProposer,
+    RemediationAction,
+)
+from repro.remediation.incidents import Incident, IncidentDetector
+from repro.remediation.journal import (
+    ActionJournal,
+    RemediationScheduler,
+    RiskScorer,
+)
+from repro.remediation.shadow import ShadowVerdict, ShadowVerifier
+from repro.resilience.invariants import check_round_invariants
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.supervisor import RoundResult, RoundSupervisor
+
+__all__ = ["RemediationConfig", "RoundRemediation", "RemediationPipeline"]
+
+
+@dataclass(frozen=True)
+class RemediationConfig:
+    """Tuning knobs for the whole pipeline.
+
+    Attributes
+    ----------
+    shadow_rounds:
+        Rounds each dry run simulates (see
+        :class:`~repro.remediation.ShadowVerifier`).
+    latency_tolerance:
+        Relative predicted-latency slack before the verifier rejects.
+    max_actions_per_round:
+        Cap on actions *verified* per round; the excess (highest
+        proposal index first dropped) waits for re-detection.  Keeps a
+        noisy round from flooding the queue.
+    shadow_seed:
+        Base seed of the shadow verifier's forked RNG streams.
+    """
+
+    shadow_rounds: int = 2
+    latency_tolerance: float = 0.05
+    max_actions_per_round: int = 4
+    shadow_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shadow_rounds < 1:
+            raise ValueError("shadow_rounds must be at least 1")
+        if self.latency_tolerance < 0.0:
+            raise ValueError("latency_tolerance must be non-negative")
+        if self.max_actions_per_round < 1:
+            raise ValueError("max_actions_per_round must be at least 1")
+
+
+@dataclass
+class RoundRemediation:
+    """What the pipeline saw and did for one supervised round."""
+
+    round_index: int
+    incidents: list[Incident] = field(default_factory=list)
+    proposed: list[RemediationAction] = field(default_factory=list)
+    verdicts: list[ShadowVerdict] = field(default_factory=list)
+    applied: list[RemediationAction] = field(default_factory=list)
+    rejected: list[RemediationAction] = field(default_factory=list)
+    rolled_back: list[RemediationAction] = field(default_factory=list)
+
+    @property
+    def acted(self) -> bool:
+        """Whether any action reached the live supervisor."""
+        return bool(self.applied)
+
+
+class RemediationPipeline:
+    """Closed-loop auto-remediation for a :class:`RoundSupervisor`.
+
+    Stateless between rounds except for the detector's retry baseline,
+    the journal, and accumulated history — all of which are exactly the
+    state a post-mortem wants.
+    """
+
+    def __init__(
+        self,
+        config: RemediationConfig | None = None,
+        *,
+        detector: IncidentDetector | None = None,
+        proposer: ActionProposer | None = None,
+        verifier: ShadowVerifier | None = None,
+        scheduler: RemediationScheduler | None = None,
+    ) -> None:
+        self.config = config if config is not None else RemediationConfig()
+        self.detector = detector if detector is not None else IncidentDetector()
+        self.proposer = proposer if proposer is not None else ActionProposer()
+        self.verifier = (
+            verifier
+            if verifier is not None
+            else ShadowVerifier(
+                rounds=self.config.shadow_rounds,
+                latency_tolerance=self.config.latency_tolerance,
+                seed=self.config.shadow_seed,
+            )
+        )
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else RemediationScheduler(
+                ActionJournal(), scorer=RiskScorer(), applier=ActionApplier()
+            )
+        )
+        self.history: list[RoundRemediation] = []
+
+    @property
+    def journal(self) -> ActionJournal:
+        """The scheduler's write-ahead journal (for inspection/replay)."""
+        return self.scheduler.journal
+
+    # ----------------------------------------------------------- the loop
+
+    def process_round(
+        self, supervisor: "RoundSupervisor", result: "RoundResult"
+    ) -> RoundRemediation:
+        """Run the full pipeline on one completed round."""
+        report = RoundRemediation(round_index=result.index)
+
+        with trace_span("remediation.detect", index=result.index):
+            violations = check_round_invariants(
+                result, honest_names=supervisor.honest_names()
+            )
+            report.incidents = self.detector.scan(
+                result, supervisor.quarantine, violations
+            )
+        if not report.incidents:
+            self.history.append(report)
+            return report
+
+        with trace_span("remediation.propose", index=result.index):
+            report.proposed = self.proposer.propose(report.incidents, supervisor)
+            dropped = len(report.proposed) - self.config.max_actions_per_round
+            if dropped > 0:
+                record_counter("remediation.actions_deferred", dropped)
+                report.proposed = report.proposed[
+                    : self.config.max_actions_per_round
+                ]
+        record_counter("remediation.actions_proposed", len(report.proposed))
+
+        with trace_span("remediation.verify", index=result.index):
+            report.verdicts = self.verifier.verify(
+                supervisor, result, report.proposed
+            )
+
+        with trace_span("remediation.schedule", index=result.index):
+            for action, verdict in zip(report.proposed, report.verdicts):
+                if verdict.accepted:
+                    self.scheduler.submit(action, verdict)
+                else:
+                    self.scheduler.reject(action, verdict)
+                    report.rejected.append(action)
+            report.applied = self.scheduler.drain(supervisor)
+            drained = {a.action_id for a in report.applied}
+            rejected = {a.action_id for a in report.rejected}
+            report.rolled_back = [
+                a
+                for a, v in zip(report.proposed, report.verdicts)
+                if v.accepted and a.action_id not in drained | rejected
+            ]
+
+        self.history.append(report)
+        return report

@@ -207,6 +207,66 @@ class QuarantinePolicy:
         ):
             self._open(name, health)
 
+    # ------------------------------------------------------ remediation
+
+    def force_open(self, name: str, reason: str = "remediation") -> None:
+        """Quarantine ``name`` immediately, bypassing the failure count.
+
+        The remediation pipeline uses this to act on a *single* strong
+        signal (a CUSUM alert, an unverifiable round) without waiting
+        for ``failure_threshold`` consecutive failures.  Cooldown
+        book-keeping (doubling, cap) is identical to an organic trip,
+        so back-off behaviour stays monotone.
+        """
+        health = self._machines[name]
+        if health.state is CircuitState.OPEN:
+            return
+        health.last_failure_reason = reason
+        self._open(name, health)
+
+    def force_probe(self, name: str) -> None:
+        """Early re-admission: skip the remaining cooldown of ``name``.
+
+        The machine transitions straight to half-open and is offered a
+        probe at the next :meth:`begin_round`.  Probe bookkeeping is
+        untouched: a failed probe still re-opens with a doubled
+        cooldown, so an unwarranted early readmit self-corrects.
+        """
+        health = self._machines[name]
+        if health.state is not CircuitState.OPEN:
+            return
+        health.state = CircuitState.HALF_OPEN
+        health.cooldown_remaining = 0
+        health.consecutive_probe_successes = 0
+        record_counter("resilience.quarantine.forced_probes")
+        annotate("quarantine.forced_probe", machine=name)
+
+    def reset(self, name: str) -> None:
+        """Forgive ``name``: close its circuit and clear the streaks.
+
+        Used when failures are attributed to an external cause (e.g. a
+        lossy-network round) rather than the machine itself.  The
+        reputation score is deliberately *not* reset — forgiveness
+        clears the circuit, not the record.
+        """
+        health = self._machines[name]
+        health.state = CircuitState.CLOSED
+        health.consecutive_failures = 0
+        health.consecutive_probe_successes = 0
+        health.cooldown_remaining = 0
+        health.current_cooldown = 0
+        record_counter("resilience.quarantine.resets")
+        annotate("quarantine.reset", machine=name)
+
+    def snapshot_health(self, name: str) -> MachineHealth:
+        """An independent copy of one machine's health (for undo logs)."""
+        health = self._machines[name]
+        return MachineHealth(**vars(health))
+
+    def restore_health(self, name: str, saved: MachineHealth) -> None:
+        """Restore a health record captured by :meth:`snapshot_health`."""
+        self._machines[name] = MachineHealth(**vars(saved))
+
     # ------------------------------------------------------------ internals
 
     def _open(self, name: str, health: MachineHealth) -> None:

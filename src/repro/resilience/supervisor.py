@@ -30,7 +30,7 @@ round.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
@@ -69,6 +69,7 @@ from repro.system.workload import PoissonWorkload, split_assignments, split_work
 from repro.types import AllocationResult, MechanismOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (chaos imports us)
+    from repro.remediation.pipeline import RemediationPipeline
     from repro.resilience.chaos import RoundFaults
 
 __all__ = [
@@ -102,7 +103,13 @@ class SupervisedCoordinator(FaultTolerantCoordinator):
       :class:`CoordinatorCrash` once that many payments were issued;
     * ``min_participants`` — rounds that shrink below this many
       responders are voided (the bonus term needs a leave-one-out
-      system, so fewer than two machines cannot be priced).
+      system, so fewer than two machines cannot be priced);
+    * ``bid_overrides`` — remediation-imposed effective declared values:
+      a machine the pipeline has re-estimated (its verified execution
+      value exceeded its bid) is priced at the override rather than its
+      declared bid.  Overrides only ever *raise* a recorded bid, never
+      lower it, and apply at recording time, so allocation, payments,
+      and checkpoints all see one consistent value.
     """
 
     allocator: (
@@ -114,8 +121,22 @@ class SupervisedCoordinator(FaultTolerantCoordinator):
     payments_sent: dict[str, tuple[float, float, float]] = field(
         default_factory=dict
     )
+    bid_overrides: dict[str, float] = field(default_factory=dict)
 
     # --------------------------------------------------------- overrides
+
+    def _record_bid(self, reply) -> None:
+        override = self.bid_overrides.get(reply.sender)
+        if override is not None and override > reply.bid:
+            record_counter("remediation.bid_overrides")
+            annotate(
+                "remediation.bid_override",
+                machine=reply.sender,
+                declared=reply.bid,
+                override=override,
+            )
+            reply = replace(reply, bid=float(override))
+        super()._record_bid(reply)
 
     def _on_bid(self, reply) -> None:
         super()._on_bid(reply)
@@ -542,6 +563,13 @@ class RoundSupervisor:
         :func:`~repro.protocol.run_protocol`: ``"event"``,
         ``"batched"``, or ``"auto"`` (default; resolves to the batched
         engine — bit-identical under deterministic service).
+    remediation:
+        Optional :class:`~repro.remediation.RemediationPipeline`.  When
+        set, every completed round is fed through the closed-loop
+        detect → propose → shadow-verify → schedule pipeline, whose
+        applied actions adjust this supervisor (quarantine state, bid
+        overrides, detector calibration, skipped rounds) before the
+        next round runs.
     """
 
     def __init__(
@@ -561,6 +589,7 @@ class RoundSupervisor:
         rng: np.random.Generator | None = None,
         machine_names: Sequence[str] | None = None,
         execution: str = "auto",
+        remediation: "RemediationPipeline | None" = None,
     ) -> None:
         if len(agents) < 2:
             raise ValueError("the supervisor needs at least two machines")
@@ -591,6 +620,13 @@ class RoundSupervisor:
             self.quarantine.admit(name)
         self._allocator = _IncrementalAllocator()
         self._round_index = 0
+        self.remediation = remediation
+        #: Remediation-imposed effective declared values (name -> bid);
+        #: consumed by every round's SupervisedCoordinator.
+        self.bid_overrides: dict[str, float] = {}
+        #: Rounds the supervisor will void outright before routing any
+        #: jobs — the remediation pipeline's emergency brake.
+        self.skip_rounds = 0
 
     # ------------------------------------------------------------ queries
 
@@ -650,6 +686,9 @@ class RoundSupervisor:
             )
         observe_value("supervisor.jobs_routed", result.jobs_routed)
         record_gauge("resilience.quarantine.open", len(result.quarantined))
+        if self.remediation is not None:
+            with trace_span("supervisor.remediation", index=result.index):
+                self.remediation.process_round(self, result)
         return result
 
     def _run_round(self, faults: "RoundFaults | None") -> RoundResult:
@@ -701,6 +740,14 @@ class RoundSupervisor:
                 arrival_rate=self.arrival_rate,
                 jobs_routed=0,
             )
+
+        if self.skip_rounds > 0:
+            # A remediation action voided this round pre-emptively: no
+            # jobs are routed and nobody is paid while the operators
+            # (or the pipeline itself) re-establish a safe state.
+            self.skip_rounds -= 1
+            record_counter("supervisor.rounds_skipped")
+            return void_result(excluded=[])
 
         if len(admitted) < 2:
             # Too few live machines to price a round; degrade by skipping.
@@ -784,6 +831,7 @@ class RoundSupervisor:
             on_allocated=on_allocated,
             allocator=self._allocator.allocate,
             checkpoint_store=store,
+            bid_overrides=dict(self.bid_overrides),
         )
         if coordinator_crash == "mid_payment":
             coordinator.fail_after_payments = crash_after_payments

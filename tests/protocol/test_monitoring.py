@@ -119,3 +119,56 @@ class TestDetectionCharacteristics:
             1.0, 1.1, 2.0, np.random.default_rng(3), max_jobs=20_000
         )
         assert delay is None
+
+
+class TestDetectionDelayContract:
+    """The explicit-None contract of :func:`detection_delay`."""
+
+    def test_never_fires_is_none_not_horizon(self):
+        # An honest machine over a tiny horizon: the censored outcome
+        # is None, never 0 and never max_jobs.
+        delay = detection_delay(
+            1.0, 1.0, 2.0, np.random.default_rng(0), max_jobs=5
+        )
+        assert delay is None
+
+    def test_delay_is_within_one_and_max_jobs(self):
+        # A massive slowdown against a hair-trigger threshold: the
+        # alarm must land inside the documented [1, max_jobs] range.
+        delay = detection_delay(
+            1.0,
+            50.0,
+            2.0,
+            np.random.default_rng(5),
+            threshold=0.5,
+            max_jobs=10,
+        )
+        assert delay is not None
+        assert 1 <= delay <= 10
+
+    def test_detection_on_final_job_counts(self):
+        # Binary-search the smallest horizon at which a 3x slowdown is
+        # caught; one job fewer must censor to None (so a detection
+        # exactly on the last simulated job is reported, not dropped).
+        rng_delay = detection_delay(1.0, 3.0, 2.0, np.random.default_rng(1))
+        assert rng_delay is not None
+        at_horizon = detection_delay(
+            1.0, 3.0, 2.0, np.random.default_rng(1), max_jobs=rng_delay
+        )
+        below_horizon = detection_delay(
+            1.0, 3.0, 2.0, np.random.default_rng(1), max_jobs=rng_delay - 1
+        )
+        assert at_horizon == rng_delay
+        assert below_horizon is None
+
+    @pytest.mark.parametrize("bad_max", [0, -1])
+    def test_nonpositive_horizon_rejected(self, bad_max):
+        with pytest.raises(ValueError, match="max_jobs"):
+            detection_delay(
+                1.0, 2.0, 1.0, np.random.default_rng(0), max_jobs=bad_max
+            )
+
+    @pytest.mark.parametrize("bad_true", [0.0, -1.0, float("nan")])
+    def test_bad_true_execution_value_rejected(self, bad_true):
+        with pytest.raises(ValueError, match="true_execution_value"):
+            detection_delay(1.0, bad_true, 1.0, np.random.default_rng(0))

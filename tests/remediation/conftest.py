@@ -1,0 +1,86 @@
+"""Shared fixtures for the remediation pipeline tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents import TruthfulAgent
+from repro.resilience import MachineFault, RoundFaults, RoundSupervisor
+from repro.resilience.quarantine import QuarantinePolicy
+from repro.resilience.supervisor import RoundResult
+
+
+def build_supervisor(
+    n_machines: int = 4,
+    *,
+    seed: int = 0,
+    remediation=None,
+    failure_threshold: int = 3,
+    arrival_rate: float = 10.0,
+) -> RoundSupervisor:
+    """The MTTR scenarios' fleet: truthful agents on the batched engine."""
+    agents = [TruthfulAgent(1.0 + 0.25 * k) for k in range(n_machines)]
+    return RoundSupervisor(
+        agents,
+        arrival_rate,
+        quarantine=QuarantinePolicy(failure_threshold=failure_threshold),
+        rng=np.random.default_rng(seed),
+        execution="batched",
+        remediation=remediation,
+    )
+
+
+def slow_round(
+    supervisor: RoundSupervisor, *, slowdown: float = 3.0, machine: int = 0
+) -> RoundResult:
+    """One round in which ``machine`` executes ``slowdown``x its bid."""
+    target = supervisor.machine_names[machine]
+    return supervisor.run_round(
+        RoundFaults(
+            machine_faults={
+                target: MachineFault("slow_execution", slowdown=slowdown)
+            }
+        )
+    )
+
+
+def make_result(index: int = 0, **overrides) -> RoundResult:
+    """A minimal synthetic RoundResult for detector unit tests."""
+    base: dict = dict(
+        index=index,
+        participants=[],
+        probes=[],
+        quarantined=[],
+        excluded=[],
+        withheld=[],
+        alerts=[],
+        faulted=[],
+        fault_kinds={},
+        voided=False,
+        outcome=None,
+        loads={},
+        payments={},
+        utilities={},
+        payment_notices={},
+        bid_retries=0,
+        report_retries=0,
+        coordinator_restarts=0,
+        arrival_rate=10.0,
+        jobs_routed=0,
+    )
+    base.update(overrides)
+    return RoundResult(**base)
+
+
+@pytest.fixture
+def supervisor() -> RoundSupervisor:
+    return build_supervisor()
+
+
+@pytest.fixture
+def alert_round(supervisor):
+    """(supervisor, result) for a round that raised a CUSUM alert."""
+    result = slow_round(supervisor)
+    assert result.alerts, "fixture expects the slowdown to trip CUSUM"
+    return supervisor, result

@@ -1,0 +1,247 @@
+"""Unit tests for stage 4: WAL journal, risk order, at-most-once apply."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.remediation import (
+    ActionApplier,
+    ActionJournal,
+    JournalRecord,
+    RemediationAction,
+    RemediationScheduler,
+    RiskScorer,
+    SchedulerCrash,
+    ShadowVerdict,
+)
+from repro.remediation.journal import SCHEMA_VERSION, TERMINAL_STATUSES
+from repro.resilience.quarantine import CircuitState
+
+from tests.remediation.conftest import build_supervisor
+
+
+def _verdict(action, predicted=1.0, baseline=1.5):
+    return ShadowVerdict(
+        action_id=action.action_id,
+        accepted=True,
+        reason="test verdict",
+        predicted_excess=predicted,
+        baseline_excess=baseline,
+    )
+
+
+def _requarantine(name, round_index=0):
+    return RemediationAction(
+        kind="requarantine", machine=name, reason="test", round_index=round_index
+    )
+
+
+class TestJournalRecord:
+    def test_rejects_unknown_status(self):
+        with pytest.raises(ValueError, match="status"):
+            JournalRecord(sequence=0, action_id="x", status="maybe")
+
+    def test_dict_round_trip(self):
+        record = JournalRecord(
+            sequence=3,
+            action_id="1:readmit:m",
+            status="verified",
+            action={"kind": "readmit"},
+            risk=0.2,
+            detail="why",
+        )
+        assert JournalRecord.from_dict(record.to_dict()) == record
+
+
+class TestActionJournal:
+    def test_appends_are_sequenced_and_deserialisable(self):
+        journal = ActionJournal()
+        action = _requarantine("m")
+        journal.append(action, "proposed")
+        journal.append(action, "verified", risk=0.6)
+        records = journal.records()
+        assert [r.sequence for r in records] == [0, 1]
+        assert [r.status for r in records] == ["proposed", "verified"]
+        assert records[1].risk == 0.6
+        # The journal stores serialised lines: what comes back is a
+        # rebuilt record, not the object that went in.
+        assert records[0].action == action.to_dict()
+
+    def test_last_status_tracks_the_latest_transition(self):
+        journal = ActionJournal()
+        a = _requarantine("a")
+        b = _requarantine("b")
+        journal.append(a, "proposed")
+        journal.append(b, "proposed")
+        journal.append(a, "verified")
+        journal.append(a, "applying")
+        assert journal.last_status() == {
+            a.action_id: "applying",
+            b.action_id: "proposed",
+        }
+
+    def test_json_round_trip(self):
+        journal = ActionJournal()
+        action = _requarantine("m")
+        journal.append(action, "proposed", detail="hello")
+        journal.append(action, "rejected", detail="no")
+        restored = ActionJournal.from_json(journal.to_json())
+        assert restored.records() == journal.records()
+        # The restored journal keeps appending with fresh sequences.
+        restored.append(action, "abandoned")
+        assert restored.records()[-1].sequence == 2
+
+    def test_from_json_rejects_wrong_schema_version(self):
+        journal = ActionJournal()
+        payload = journal.to_json().replace(
+            f'"schema_version": {SCHEMA_VERSION}', '"schema_version": 99'
+        )
+        with pytest.raises(ValueError, match="schema version"):
+            ActionJournal.from_json(payload)
+
+
+class TestRiskScorer:
+    def test_base_order_tracks_invasiveness(self):
+        scorer = RiskScorer()
+        kinds = ["readmit", "reset_circuit", "sharpen_detector", "reweight",
+                 "requarantine", "void_round"]
+        weights = [scorer.BASE_WEIGHTS[k] for k in kinds]
+        assert weights == sorted(weights)
+
+    def test_gap_improvement_lowers_risk(self):
+        scorer = RiskScorer()
+        action = _requarantine("m")
+        improving = _verdict(action, predicted=1.0, baseline=1.6)
+        neutral = _verdict(action, predicted=1.6, baseline=1.6)
+        assert scorer.score(action, improving) < scorer.score(action, neutral)
+
+    def test_infinite_gaps_fall_back_to_base_weight(self):
+        scorer = RiskScorer()
+        action = _requarantine("m")
+        verdict = _verdict(action, predicted=float("inf"))
+        assert scorer.score(action, verdict) == scorer.BASE_WEIGHTS["requarantine"]
+
+
+class TestSchedulerDrain:
+    def test_drains_in_ascending_risk_order(self, supervisor):
+        scheduler = RemediationScheduler()
+        risky = _requarantine(supervisor.machine_names[0])
+        safe = RemediationAction(
+            kind="sharpen_detector", factor=0.75, round_index=0
+        )
+        scheduler.submit(risky, _verdict(risky, predicted=1.5, baseline=1.5))
+        scheduler.submit(safe, _verdict(safe, predicted=1.5, baseline=1.5))
+        assert [a.kind for a in scheduler.pending] == [
+            "sharpen_detector",
+            "requarantine",
+        ]
+        applied = scheduler.drain(supervisor)
+        assert [a.kind for a in applied] == ["sharpen_detector", "requarantine"]
+        assert scheduler.pending == []
+        statuses = scheduler.journal.last_status()
+        assert statuses[risky.action_id] == "applied"
+        assert statuses[safe.action_id] == "applied"
+
+    def test_rejected_actions_never_become_pending(self, supervisor):
+        scheduler = RemediationScheduler()
+        action = _requarantine(supervisor.machine_names[0])
+        verdict = ShadowVerdict(
+            action_id=action.action_id,
+            accepted=False,
+            reason="worse gap",
+            predicted_excess=2.0,
+            baseline_excess=1.0,
+        )
+        scheduler.reject(action, verdict)
+        assert scheduler.pending == []
+        assert scheduler.drain(supervisor) == []
+        assert scheduler.journal.last_status()[action.action_id] == "rejected"
+        assert scheduler.applier.apply_counts == {}
+
+    def test_failed_post_apply_check_rolls_back(self):
+        # Quarantining one machine of a 2-fleet passes application but
+        # fails the post-apply check; the mutation must be undone and
+        # journaled as rolled_back.
+        supervisor = build_supervisor(n_machines=2)
+        name = supervisor.machine_names[0]
+        scheduler = RemediationScheduler()
+        action = _requarantine(name)
+        scheduler.submit(action, _verdict(action))
+        applied = scheduler.drain(supervisor)
+        assert applied == []
+        assert supervisor.quarantine.state_of(name) is CircuitState.CLOSED
+        assert scheduler.journal.last_status()[action.action_id] == "rolled_back"
+
+    def test_terminal_statuses_cover_every_exit(self):
+        assert set(TERMINAL_STATUSES) == {
+            "rejected", "applied", "rolled_back", "abandoned",
+        }
+
+
+class TestCrashRecovery:
+    """The acceptance criterion: kill the scheduler between apply and
+    ack, resume from the journal, and observe at-most-once application."""
+
+    def _two_pending(self, supervisor):
+        scheduler = RemediationScheduler(fail_after_applies=1)
+        low = RemediationAction(
+            kind="sharpen_detector", factor=0.75, round_index=0
+        )
+        high = _requarantine(supervisor.machine_names[0])
+        scheduler.submit(low, _verdict(low, predicted=1.5, baseline=1.5))
+        scheduler.submit(high, _verdict(high, predicted=1.5, baseline=1.5))
+        return scheduler, low, high
+
+    def test_crash_leaves_unacked_applying_record(self, supervisor):
+        scheduler, low, high = self._two_pending(supervisor)
+        with pytest.raises(SchedulerCrash):
+            scheduler.drain(supervisor)
+        # The mutation landed (threshold sharpened) but was never acked.
+        assert supervisor.detector_threshold < 15.0
+        assert scheduler.journal.last_status()[low.action_id] == "applying"
+        assert scheduler.journal.last_status()[high.action_id] == "verified"
+
+    def test_resume_abandons_the_crash_window_action(self, supervisor):
+        scheduler, low, high = self._two_pending(supervisor)
+        with pytest.raises(SchedulerCrash):
+            scheduler.drain(supervisor)
+        first_applies = dict(scheduler.applier.apply_counts)
+        assert first_applies == {low.action_id: 1}
+
+        # "Restart the process": the journal survives serialisation,
+        # everything in memory is lost.
+        journal = ActionJournal.from_json(scheduler.journal.to_json())
+        fresh_applier = ActionApplier()
+        resumed = RemediationScheduler.resume(journal, applier=fresh_applier)
+
+        # The crash-window action is journaled abandoned, not re-run.
+        assert journal.last_status()[low.action_id] == "abandoned"
+        assert low.action_id not in [a.action_id for a in resumed.pending]
+
+        # The still-verified action survives with its journaled risk
+        # and drains exactly once.
+        assert [a.action_id for a in resumed.pending] == [high.action_id]
+        applied = resumed.drain(supervisor)
+        assert [a.action_id for a in applied] == [high.action_id]
+        assert journal.last_status()[high.action_id] == "applied"
+
+        # At-most-once, across both process lifetimes: the abandoned
+        # action was applied exactly once (pre-crash), the resumed one
+        # exactly once (post-crash).
+        assert fresh_applier.apply_counts == {high.action_id: 1}
+        total = {}
+        for counts in (first_applies, fresh_applier.apply_counts):
+            for action_id, count in counts.items():
+                total[action_id] = total.get(action_id, 0) + count
+        assert total == {low.action_id: 1, high.action_id: 1}
+
+    def test_resume_of_a_clean_journal_has_nothing_to_do(self, supervisor):
+        scheduler = RemediationScheduler()
+        action = _requarantine(supervisor.machine_names[0])
+        scheduler.submit(action, _verdict(action))
+        scheduler.drain(supervisor)
+        resumed = RemediationScheduler.resume(
+            ActionJournal.from_json(scheduler.journal.to_json())
+        )
+        assert resumed.pending == []
+        assert resumed.drain(supervisor) == []

@@ -1,0 +1,119 @@
+"""Closed-loop tests: the full pipeline wired into a supervisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.remediation import (
+    RemediationConfig,
+    RemediationPipeline,
+    default_scenarios,
+    measure_mttr,
+    run_scenario,
+    scenario_fault_plan,
+)
+from repro.resilience.quarantine import CircuitState
+
+from tests.remediation.conftest import build_supervisor, slow_round
+
+
+class TestRemediationConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shadow_rounds": 0},
+            {"latency_tolerance": -0.01},
+            {"max_actions_per_round": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RemediationConfig(**kwargs)
+
+
+class TestClosedLoop:
+    def test_slowdown_is_quarantined_within_one_round(self):
+        pipeline = RemediationPipeline()
+        supervisor = build_supervisor(remediation=pipeline)
+        target = supervisor.machine_names[0]
+        slow_round(supervisor)
+        # One alert round is enough: the pipeline requarantined the
+        # machine without waiting for failure_threshold organic trips.
+        assert supervisor.quarantine.state_of(target) is CircuitState.OPEN
+        report = pipeline.history[-1]
+        assert report.acted
+        assert {a.kind for a in report.applied} >= {"requarantine"}
+        # The very next round runs clean on the remaining machines.
+        result = supervisor.run_round()
+        assert not result.voided
+        gap = result.outcome.realised_latency / result.outcome.allocation.total_latency
+        assert gap == pytest.approx(1.0, abs=0.05)
+
+    def test_healthy_rounds_produce_no_pipeline_activity(self):
+        pipeline = RemediationPipeline()
+        supervisor = build_supervisor(remediation=pipeline)
+        for _ in range(3):
+            supervisor.run_round()
+        assert len(pipeline.history) == 3
+        assert all(not h.incidents for h in pipeline.history)
+        assert all(not h.acted for h in pipeline.history)
+        assert len(pipeline.journal) == 0
+
+    def test_wal_ordering_for_every_applied_action(self):
+        pipeline = RemediationPipeline()
+        supervisor = build_supervisor(remediation=pipeline)
+        for _ in range(2):
+            slow_round(supervisor)
+        applied_ids = {
+            a.action_id for h in pipeline.history for a in h.applied
+        }
+        assert applied_ids
+        records = pipeline.journal.records()
+        for action_id in applied_ids:
+            statuses = [r.status for r in records if r.action_id == action_id]
+            assert statuses == ["proposed", "verified", "applying", "applied"]
+
+    def test_max_actions_per_round_caps_the_queue(self):
+        pipeline = RemediationPipeline(
+            RemediationConfig(max_actions_per_round=1)
+        )
+        supervisor = build_supervisor(remediation=pipeline)
+        slow_round(supervisor)  # would propose 3 actions uncapped
+        report = pipeline.history[-1]
+        assert len(report.proposed) == 1
+        assert len(report.applied) <= 1
+
+
+class TestScenarioSuite:
+    def test_fault_plan_covers_exactly_the_fault_window(self):
+        scenario = default_scenarios()[0]
+        plan = scenario_fault_plan(scenario, [f"m{i}" for i in range(4)])
+        faulted = [
+            index
+            for index, round_faults in enumerate(plan.rounds)
+            if round_faults.machine_faults
+        ]
+        assert faulted == list(
+            range(scenario.onset, scenario.onset + scenario.fault_rounds)
+        )
+
+    def test_unknown_fault_kind_is_rejected(self):
+        scenario = default_scenarios()[0]
+        bad = type(scenario)(name="bad", fault_kind="meteor-strike")
+        with pytest.raises(ValueError, match="fault kind"):
+            scenario_fault_plan(bad, ["m0", "m1", "m2", "m3"])
+
+    def test_remediation_beats_organic_recovery(self):
+        scenario = default_scenarios()[0]  # creeping-slowdown
+        on = run_scenario(scenario, remediation=True, seed=0)
+        off = run_scenario(scenario, remediation=False, seed=0)
+        assert on.recovered and off.recovered
+        assert on.mttr_rounds < off.mttr_rounds
+        assert on.violations == 0
+        assert off.violations == 0
+        assert on.actions_applied > 0
+
+    def test_measure_mttr_meets_the_acceptance_gate(self):
+        comparison = measure_mttr(default_scenarios()[:2], seed=0)
+        assert comparison.improvement >= 2.0
+        assert comparison.violations_from_actions == 0
