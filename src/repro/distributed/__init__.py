@@ -16,7 +16,13 @@ mechanism design line the paper cites (Feigenbaum et al., refs [4-6]):
   mechanism: every machine computes its *own* payment from two global
   aggregates (``S = sum 1/b_j`` and the realised latency ``L``), with
   no central trusted payment computer.  Its outcome equals the
-  centralised mechanism's to machine precision (tested).
+  centralised mechanism's to machine precision (tested);
+* :mod:`repro.distributed.shard` / :mod:`~repro.distributed.gather` /
+  :mod:`~repro.distributed.service` — the sharded coordinator service:
+  agents partitioned across long-lived coordinator workers, rounds run
+  as staged fan-outs, only the (S, Q) partial sums crossing shard
+  boundaries, per-shard crash recovery through the checkpoint/ledger
+  path.  Operator's guide: ``docs/distributed.md``.
 """
 
 from repro.distributed.topology import (
@@ -40,6 +46,25 @@ from repro.distributed.audit import (
     tree_sum_with_relay_faults,
     double_tree_check,
 )
+from repro.distributed.gather import (
+    PartialSum,
+    ShardPartial,
+    aggregate_shards,
+    concatenate_payload,
+)
+from repro.distributed.shard import (
+    CoordinatorShard,
+    ShardCrash,
+    partition_names,
+)
+from repro.distributed.service import (
+    AGGREGATION_MODES,
+    SHARD_EXECUTORS,
+    WORKLOAD_MODES,
+    ShardedCoordinatorService,
+    ShardedRound,
+    ShardedRoundResult,
+)
 
 __all__ = [
     "Overlay",
@@ -56,4 +81,17 @@ __all__ = [
     "TamperingCheck",
     "tree_sum_with_relay_faults",
     "double_tree_check",
+    "PartialSum",
+    "ShardPartial",
+    "aggregate_shards",
+    "concatenate_payload",
+    "CoordinatorShard",
+    "ShardCrash",
+    "partition_names",
+    "AGGREGATION_MODES",
+    "SHARD_EXECUTORS",
+    "WORKLOAD_MODES",
+    "ShardedCoordinatorService",
+    "ShardedRound",
+    "ShardedRoundResult",
 ]

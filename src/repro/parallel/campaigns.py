@@ -66,8 +66,14 @@ def protocol_units(
     duration: float = 200.0,
     variant: str = "observed",
     scenarios: tuple[str, ...] | None = None,
+    shards: int = 1,
 ) -> list[ExperimentUnit]:
-    """Seeded discrete-event replications of the Table 2 scenarios."""
+    """Seeded discrete-event replications of the Table 2 scenarios.
+
+    ``shards > 1`` runs each replication through the sharded
+    coordinator service (bit-identical mechanism payload; see
+    :class:`~repro.parallel.ExperimentUnit`).
+    """
     config = _resolve(config)
     names = scenarios or tuple(s.name for s in PAPER_SCENARIOS)
     units = []
@@ -85,6 +91,7 @@ def protocol_units(
                     variant=variant,
                     seed=int(seed),
                     duration=duration,
+                    shards=shards,
                 )
             )
     return units
@@ -96,6 +103,7 @@ def figures_campaign_units(
     seeds: tuple[int, ...] = (),
     duration: float = 200.0,
     variant: str = "observed",
+    shards: int = 1,
 ) -> list[ExperimentUnit]:
     """The combined Table 1 + Figures 1–6 campaign.
 
@@ -108,7 +116,11 @@ def figures_campaign_units(
     units = scenario_units(config, variant=variant)
     if seeds:
         units += protocol_units(
-            config, seeds=tuple(seeds), duration=duration, variant=variant
+            config,
+            seeds=tuple(seeds),
+            duration=duration,
+            variant=variant,
+            shards=shards,
         )
     return units
 

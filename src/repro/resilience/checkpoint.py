@@ -28,7 +28,7 @@ serialisation boundary is what proves no live object sneaks through.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.observability.instrumentation import record_counter, timed_section
 
@@ -75,25 +75,29 @@ class CoordinatorCheckpoint:
     )
 
     def to_json(self) -> str:
-        """Serialise to a JSON string (the durable representation)."""
+        """Serialise to a JSON string (the durable representation).
+
+        Tuples encode as JSON arrays natively and ``default=float``
+        coerces any stray numpy scalar, so no per-element Python loop
+        runs here — snapshots are O(n) in C, which matters because the
+        sharded service takes one per phase per shard.
+        """
+        loads = self.loads
+        if loads is not None and hasattr(loads, "tolist"):
+            loads = loads.tolist()
         return json.dumps(
             {
                 "phase": self.phase,
-                "machine_names": list(self.machine_names),
+                "machine_names": self.machine_names,
                 "arrival_rate": self.arrival_rate,
-                "bids": dict(self.bids),
-                "loads": None if self.loads is None else list(self.loads),
-                "reports": {
-                    name: [int(jobs), float(sojourn)]
-                    for name, (jobs, sojourn) in self.reports.items()
-                },
-                "excluded": list(self.excluded),
-                "withheld": list(self.withheld),
-                "payments_sent": {
-                    name: [float(p), float(c), float(b)]
-                    for name, (p, c, b) in self.payments_sent.items()
-                },
-            }
+                "bids": self.bids,
+                "loads": loads,
+                "reports": self.reports,
+                "excluded": self.excluded,
+                "withheld": self.withheld,
+                "payments_sent": self.payments_sent,
+            },
+            default=float,
         )
 
     @classmethod
@@ -120,33 +124,95 @@ class CoordinatorCheckpoint:
 
 
 class CheckpointStore:
-    """A durable slot for the latest checkpoint.
+    """A durable slot for the latest checkpoint, plus a payment journal.
 
     Stores the *serialised* form: every save round-trips through JSON,
     so anything that would not survive a real process restart fails
     loudly in tests rather than silently working in memory.
+
+    Snapshots are O(n) to write, which is fine once per phase but ruins
+    the settle phase if taken once per payment (O(n²) per round).  The
+    journal is the classic WAL answer: :meth:`append_payment` records a
+    single ledger entry in O(1) *on top of* the last snapshot, and
+    :meth:`load` folds the journal back into ``payments_sent``.  Saving
+    a fresh snapshot subsumes (and clears) the journal.
     """
 
     def __init__(self) -> None:
         self._payload: str | None = None
+        self._journal: list[str] = []
         self.saves = 0
+        self.appends = 0
+
+    @property
+    def has_snapshot(self) -> bool:
+        """Whether a base snapshot exists for the journal to build on."""
+        return self._payload is not None
 
     def save(self, checkpoint: CoordinatorCheckpoint) -> None:
         """Persist ``checkpoint``, replacing any previous one."""
         with timed_section("resilience.checkpoint.save.seconds"):
             self._payload = checkpoint.to_json()
+        self._journal.clear()
         self.saves += 1
         record_counter("resilience.checkpoint.saves")
 
+    def append_payment(
+        self, name: str, amounts: tuple[float, float, float]
+    ) -> None:
+        """Journal one issued payment in O(1), relative to the snapshot.
+
+        The entry is serialised immediately — same durability discipline
+        as :meth:`save` — so a write-ahead per-payment record costs one
+        three-float JSON line instead of a full O(n) snapshot.
+        """
+        if self._payload is None:
+            raise RuntimeError(
+                "cannot journal a payment with no base snapshot saved"
+            )
+        payment, compensation, bonus = amounts
+        payment = float(payment)
+        compensation = float(compensation)
+        bonus = float(bonus)
+        # repr() of a finite float is shortest-round-trip decimal, which
+        # is valid JSON — the fast path skips the json encoder entirely
+        # (this is the per-payment hot path; see bench_sharded.py).
+        # Names needing escapes and non-finite values take the slow path.
+        if (
+            '"' not in name
+            and "\\" not in name
+            and name.isprintable()
+            and payment - payment == 0.0
+            and compensation - compensation == 0.0
+            and bonus - bonus == 0.0
+        ):
+            entry = f'["{name}", [{payment!r}, {compensation!r}, {bonus!r}]]'
+        else:
+            entry = json.dumps([name, [payment, compensation, bonus]])
+        self._journal.append(entry)
+        self.appends += 1
+
     def load(self) -> CoordinatorCheckpoint | None:
-        """The most recent checkpoint, or ``None`` if nothing was saved."""
+        """The most recent checkpoint, or ``None`` if nothing was saved.
+
+        Journalled payments are folded into ``payments_sent`` so the
+        restore path sees one coherent ledger regardless of whether the
+        entries arrived via snapshot or append.
+        """
         if self._payload is None:
             return None
         with timed_section("resilience.checkpoint.load.seconds"):
             checkpoint = CoordinatorCheckpoint.from_json(self._payload)
+            if self._journal:
+                payments = dict(checkpoint.payments_sent)
+                for line in self._journal:
+                    name, amounts = json.loads(line)
+                    payments[name] = tuple(float(x) for x in amounts)
+                checkpoint = replace(checkpoint, payments_sent=payments)
         record_counter("resilience.checkpoint.loads")
         return checkpoint
 
     def clear(self) -> None:
         """Drop the stored checkpoint (end of a completed round)."""
         self._payload = None
+        self._journal.clear()

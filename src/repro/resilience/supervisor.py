@@ -570,6 +570,19 @@ class RoundSupervisor:
         applied actions adjust this supervisor (quarantine state, bid
         overrides, detector calibration, skipped rounds) before the
         next round runs.
+    shards / shard_executor:
+        With ``shards > 1``, clean rounds (no injected faults, no
+        message drops, no coordinator crash) run through the sharded
+        coordinator service
+        (:class:`~repro.distributed.ShardedCoordinatorService`) in
+        exact-aggregation mode: the admitted machines are partitioned
+        over that many coordinator workers and the round is
+        bit-identical to the monolithic path on the same seed (the
+        parity suite pins this).  Faulted rounds fall back to the
+        monolithic message-driven path, which the chaos machinery
+        instruments.  ``shard_executor`` picks the stage executor
+        (``"serial"``, ``"async"``, or ``"process"``; bit-parity under
+        stochastic service requires ``"serial"``).
     """
 
     def __init__(
@@ -590,9 +603,13 @@ class RoundSupervisor:
         machine_names: Sequence[str] | None = None,
         execution: str = "auto",
         remediation: "RemediationPipeline | None" = None,
+        shards: int = 1,
+        shard_executor: str = "serial",
     ) -> None:
         if len(agents) < 2:
             raise ValueError("the supervisor needs at least two machines")
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
         if machine_names is None:
             machine_names = [f"C{i + 1}" for i in range(len(agents))]
         if len(machine_names) != len(agents):
@@ -615,6 +632,8 @@ class RoundSupervisor:
         self.detector_slack = float(detector_slack)
         self.deterministic_service = bool(deterministic_service)
         self.execution = resolve_execution(execution)
+        self.shards = int(shards)
+        self.shard_executor = shard_executor
         self._rng = rng if rng is not None else np.random.default_rng(0)
         for name in machine_names:
             self.quarantine.admit(name)
@@ -691,6 +710,87 @@ class RoundSupervisor:
                 self.remediation.process_round(self, result)
         return result
 
+    def _run_round_sharded(
+        self,
+        index: int,
+        admitted: list[str],
+        probes: list[str],
+        quarantined: list[str],
+    ) -> RoundResult:
+        """Run one clean round through the sharded coordinator service.
+
+        The service is configured for bit-parity with the monolithic
+        path: exact aggregation (the root reassembles the canonical
+        arrays), global workload (the round consumes the supervisor's
+        RNG stream exactly as ``on_allocated`` would), the incremental
+        PR allocator, and the supervisor's remediation overrides and
+        CUSUM detector settings forwarded to every shard.
+        """
+        from repro.distributed.service import ShardedCoordinatorService
+
+        service = ShardedCoordinatorService(
+            [self.agents[n] for n in admitted],
+            self.arrival_rate,
+            shards=min(self.shards, len(admitted)),
+            mechanism=self.mechanism,
+            duration=self.duration,
+            executor=self.shard_executor,
+            deterministic_service=self.deterministic_service,
+            rng=self._rng,
+            machine_names=list(admitted),
+            allocator=self._allocator.allocate,
+            bid_overrides=dict(self.bid_overrides),
+            detector_threshold=self.detector_threshold,
+            detector_slack=self.detector_slack,
+        )
+        try:
+            shard_round = service.run_round()
+        finally:
+            service.close()
+        record_counter("supervisor.sharded_rounds")
+
+        outcome = shard_round.outcome
+        assert outcome is not None  # exact mode always prices at the root
+        names = shard_round.names
+        loads = {n: float(x) for n, x in zip(names, outcome.loads)}
+        utilities = {
+            n: float(u) for n, u in zip(names, outcome.payments.utility)
+        }
+        payments = {n: amounts[0] for n, amounts in shard_round.payments.items()}
+        alerts = list(shard_round.alerts)
+        for name in alerts:
+            record_counter("supervisor.slowdown_alerts")
+            annotate("slowdown.alert", machine=name)
+
+        for name in admitted:
+            if name in alerts:
+                self.quarantine.record_failure(name, "slowdown_alert")
+            else:
+                self.quarantine.record_success(name)
+
+        return RoundResult(
+            index=index,
+            participants=list(admitted),
+            probes=probes,
+            quarantined=quarantined,
+            excluded=[],
+            withheld=[],
+            alerts=alerts,
+            faulted=[],
+            fault_kinds={},
+            voided=False,
+            outcome=outcome,
+            loads=loads,
+            payments=payments,
+            utilities=utilities,
+            payment_notices=dict(shard_round.payment_notices),
+            bid_retries=0,
+            report_retries=0,
+            coordinator_restarts=shard_round.shard_restarts,
+            arrival_rate=self.arrival_rate,
+            jobs_routed=shard_round.jobs_routed,
+        )
+
     def _run_round(self, faults: "RoundFaults | None") -> RoundResult:
         """The round body :meth:`run_round` wraps with instrumentation."""
         index = self._round_index
@@ -752,6 +852,17 @@ class RoundSupervisor:
         if len(admitted) < 2:
             # Too few live machines to price a round; degrade by skipping.
             return void_result(excluded=list(admitted))
+
+        if (
+            self.shards > 1
+            and not machine_faults
+            and drop == 0.0
+            and coordinator_crash is None
+        ):
+            # Clean rounds shard; faulted rounds need the message-driven
+            # path (drops, crashes, and probes live in the network
+            # machinery the chaos harness instruments).
+            return self._run_round_sharded(index, admitted, probes, quarantined)
 
         # ---------------------------------------------------------- wiring
         sim = Simulator()

@@ -1,0 +1,129 @@
+"""Unit tests for shard partial-sum gathering (repro.distributed.gather)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    PartialSum,
+    ShardPartial,
+    aggregate_shards,
+    concatenate_payload,
+    star_overlay,
+    tree_overlay,
+)
+
+
+class TestPartialSum:
+    def test_of_is_one_numpy_reduction(self, rng):
+        values = rng.uniform(0.1, 5.0, size=37)
+        assert PartialSum.of(values).total == float(np.sum(values))
+
+    def test_merge_is_order_robust(self, rng):
+        values = rng.uniform(1e-8, 1e8, size=200)
+        parts = [PartialSum.of(chunk) for chunk in np.array_split(values, 9)]
+        left = parts[0]
+        for p in parts[1:]:
+            left = left.merge(p)
+        right = parts[-1]
+        for p in reversed(parts[:-1]):
+            right = p.merge(right)
+        assert left.value == pytest.approx(right.value, rel=1e-15)
+        assert left.value == pytest.approx(float(np.sum(values)), rel=1e-12)
+
+    def test_compensation_recovers_cancellation(self):
+        # 1 + tiny - 1 loses the tiny term in naive float addition.
+        tiny = 1e-17
+        merged = (
+            PartialSum.of(np.array([1.0]))
+            .merge(PartialSum.of(np.array([tiny])))
+            .merge(PartialSum.of(np.array([-1.0])))
+        )
+        assert merged.value == pytest.approx(tiny, rel=1e-6)
+
+    def test_empty_partial_is_identity(self):
+        p = PartialSum.of(np.array([2.5, 0.5]))
+        assert PartialSum().merge(p).value == p.value
+
+
+class TestShardPartial:
+    def test_merge_combines_counts_sums_and_payloads(self):
+        a = ShardPartial(0, 2, PartialSum(1.0), payload={0: {"bids": np.ones(2)}})
+        b = ShardPartial(1, 3, PartialSum(2.0), payload={1: {"bids": np.ones(3)}})
+        merged = a.merge(b)
+        assert merged.n_agents == 5
+        assert merged.inverse_sum.value == pytest.approx(3.0)
+        assert set(merged.payload) == {0, 1}
+
+    def test_quotient_none_propagates(self):
+        a = ShardPartial(0, 1, quotient_sum=PartialSum(1.0))
+        b = ShardPartial(1, 1, quotient_sum=None)
+        assert a.merge(b).quotient_sum is None
+
+    def test_duplicate_payload_rejected(self):
+        a = ShardPartial(0, 1, payload={0: {"bids": np.ones(1)}})
+        b = ShardPartial(1, 1, payload={0: {"bids": np.ones(1)}})
+        with pytest.raises(ValueError, match="duplicate shard payloads"):
+            a.merge(b)
+
+
+class TestAggregateShards:
+    @pytest.mark.parametrize("make", [star_overlay, tree_overlay])
+    @pytest.mark.parametrize("n_shards", [1, 2, 5, 16])
+    def test_sums_match_flat_reduction(self, make, n_shards, rng):
+        chunks = [rng.uniform(0.5, 4.0, size=3) for _ in range(n_shards)]
+        partials = [
+            ShardPartial(k, 3, PartialSum.of(c), PartialSum.of(c**2))
+            for k, c in enumerate(chunks)
+        ]
+        root, _ = aggregate_shards(make(n_shards), partials)
+        flat = np.concatenate(chunks)
+        assert root.inverse_sum.value == pytest.approx(flat.sum(), rel=1e-13)
+        assert root.quotient_sum.value == pytest.approx(
+            (flat**2).sum(), rel=1e-13
+        )
+        assert root.n_agents == 3 * n_shards
+
+    def test_message_accounting_matches_tree_sum(self):
+        overlay = tree_overlay(7)
+        partials = [
+            ShardPartial(k, 1, PartialSum(1.0)) for k in range(7)
+        ]
+        _, stats = aggregate_shards(overlay, partials)
+        assert stats.messages_up == 7
+        assert stats.messages_down == overlay.n_edges
+        assert stats.rounds_of_latency == 2 * overlay.depth()
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError, match="one partial per shard"):
+            aggregate_shards(star_overlay(3), [ShardPartial(0, 1)])
+
+    def test_wrong_ids_rejected(self):
+        partials = [ShardPartial(k, 1) for k in (0, 2)]
+        with pytest.raises(ValueError, match="shard ids"):
+            aggregate_shards(star_overlay(2), partials)
+
+    def test_quotient_only_when_all_present(self):
+        partials = [
+            ShardPartial(0, 1, quotient_sum=PartialSum(1.0)),
+            ShardPartial(1, 1, quotient_sum=None),
+        ]
+        root, _ = aggregate_shards(star_overlay(2), partials)
+        assert root.quotient_sum is None
+
+
+class TestConcatenatePayload:
+    def test_restores_canonical_order(self):
+        partials = [
+            ShardPartial(k, 2, payload={k: {"bids": np.array([2.0 * k, 2.0 * k + 1])}})
+            for k in range(4)
+        ]
+        root, _ = aggregate_shards(tree_overlay(4), partials)
+        assert np.array_equal(
+            concatenate_payload(root, "bids"), np.arange(8.0)
+        )
+
+    def test_missing_payload_rejected(self):
+        with pytest.raises(ValueError, match="no payload"):
+            concatenate_payload(ShardPartial(0, 1), "bids")

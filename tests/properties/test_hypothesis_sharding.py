@@ -1,0 +1,169 @@
+"""Property-based tests for sharded (S, Q) aggregation (hypothesis).
+
+The sharding argument of ``docs/distributed.md``: the mechanism needs
+only ``S = sum 1/b_j`` and ``Q = sum t̂_j/b_j²`` globally, both plain
+sums, so *any* partition of the agents over any overlay tree must
+reproduce the monolithic sums.  Three layers of that claim:
+
+* the compensated partial-sum merge agrees with the flat ``np.sum``
+  to ~1e-12 relative, for any partition and tree arity;
+* payload concatenation restores the monolithic array *bit-exactly*
+  for any partition (the exact-aggregation mode's foundation);
+* end-to-end, the exact-mode sharded service pays bit-identically to
+  the single-coordinator path for any shard count and agent profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.agents import TruthfulAgent
+from repro.distributed import (
+    PartialSum,
+    ShardPartial,
+    ShardedCoordinatorService,
+    aggregate_shards,
+    concatenate_payload,
+    partition_names,
+    tree_overlay,
+)
+from repro.protocol import run_protocol
+
+bid_arrays = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=48),
+    elements=st.floats(min_value=0.05, max_value=50.0),
+)
+estimate_arrays = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=48),
+    elements=st.floats(min_value=0.0, max_value=80.0),
+)
+
+
+def partition_bounds(n, n_shards, seed):
+    """Random contiguous partition of ``range(n)`` into ``n_shards``."""
+    rng = np.random.default_rng(seed)
+    cuts = np.sort(rng.choice(np.arange(1, n), size=n_shards - 1, replace=False))
+    return np.concatenate([[0], cuts, [n]]) if n_shards > 1 else np.array([0, n])
+
+
+class TestPartialSumProperties:
+    @settings(max_examples=120)
+    @given(
+        bids=bid_arrays,
+        n_shards=st.integers(1, 8),
+        seed=st.integers(0, 2**32 - 1),
+        arity=st.integers(1, 4),
+    )
+    def test_sharded_s_and_q_match_monolithic_sums(
+        self, bids, n_shards, seed, arity
+    ):
+        n = bids.size
+        n_shards = min(n_shards, n)
+        bounds = partition_bounds(n, n_shards, seed)
+        estimates = np.random.default_rng(seed).uniform(0.0, 10.0, size=n)
+        inv = 1.0 / bids
+        quot = estimates / bids**2
+        partials = [
+            ShardPartial(
+                k,
+                int(bounds[k + 1] - bounds[k]),
+                PartialSum.of(inv[bounds[k] : bounds[k + 1]]),
+                PartialSum.of(quot[bounds[k] : bounds[k + 1]]),
+            )
+            for k in range(n_shards)
+        ]
+        root, _ = aggregate_shards(tree_overlay(n_shards, arity=arity), partials)
+        assert root.inverse_sum.value == pytest.approx(
+            float(np.sum(inv)), rel=1e-12, abs=1e-12
+        )
+        assert root.quotient_sum.value == pytest.approx(
+            float(np.sum(quot)), rel=1e-12, abs=1e-12
+        )
+        assert root.n_agents == n
+
+    @settings(max_examples=120)
+    @given(
+        bids=bid_arrays,
+        n_shards=st.integers(1, 8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_payload_concatenation_is_bit_exact(self, bids, n_shards, seed):
+        n = bids.size
+        n_shards = min(n_shards, n)
+        bounds = partition_bounds(n, n_shards, seed)
+        partials = [
+            ShardPartial(
+                k,
+                int(bounds[k + 1] - bounds[k]),
+                payload={k: {"bids": bids[bounds[k] : bounds[k + 1]]}},
+            )
+            for k in range(n_shards)
+        ]
+        root, _ = aggregate_shards(tree_overlay(n_shards), partials)
+        assert np.array_equal(concatenate_payload(root, "bids"), bids)
+
+
+class TestPartitionProperties:
+    @settings(max_examples=100)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        n_shards=st.integers(min_value=1, max_value=32),
+    )
+    def test_partition_is_contiguous_balanced_order_preserving(
+        self, n, n_shards
+    ):
+        n_shards = min(n_shards, n)
+        names = [f"C{i}" for i in range(n)]
+        parts = partition_names(names, n_shards)
+        assert [x for p in parts for x in p] == names  # order preserved
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        assert sum(sizes) == n
+
+
+class TestEndToEndParity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        values=arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=12),
+            elements=st.floats(min_value=0.2, max_value=8.0),
+        ),
+        n_shards=st.integers(1, 6),
+        seed=st.integers(0, 2**16),
+    )
+    def test_exact_mode_pays_bit_identically_for_any_partition(
+        self, values, n_shards, seed
+    ):
+        n_shards = min(n_shards, values.size)
+        mono = run_protocol(
+            [TruthfulAgent(t) for t in values],
+            5.0,
+            duration=25.0,
+            rng=np.random.default_rng(seed),
+            deterministic_service=True,
+        )
+        svc = ShardedCoordinatorService(
+            [TruthfulAgent(t) for t in values],
+            5.0,
+            shards=n_shards,
+            duration=25.0,
+            rng=np.random.default_rng(seed),
+        )
+        try:
+            result = svc.run_round()
+        finally:
+            svc.close()
+        assert np.array_equal(
+            result.outcome.payments.payment, mono.outcome.payments.payment
+        )
+        assert np.array_equal(
+            result.estimated_execution_values, mono.estimated_execution_values
+        )
+        assert result.jobs_routed == mono.jobs_routed

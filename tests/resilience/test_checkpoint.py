@@ -84,6 +84,67 @@ class TestSerialisation:
         assert store.load() is None
 
 
+class TestPaymentJournal:
+    """The O(1) write-ahead path under the sharded settle phase."""
+
+    def _base(self):
+        store = CheckpointStore()
+        store.save(
+            CoordinatorCheckpoint(
+                phase="verifying",
+                machine_names=["C1", "C2"],
+                arrival_rate=6.0,
+                payments_sent={"C1": (1.0, 0.5, 0.5)},
+            )
+        )
+        return store
+
+    def test_appends_fold_into_the_loaded_ledger(self):
+        store = self._base()
+        store.append_payment("C2", (2.0, 1.0, 1.0))
+        loaded = store.load()
+        assert loaded.payments_sent == {
+            "C1": (1.0, 0.5, 0.5),
+            "C2": (2.0, 1.0, 1.0),
+        }
+        assert store.appends == 1
+
+    def test_journal_survives_repeated_loads(self):
+        store = self._base()
+        store.append_payment("C2", (2.0, 1.0, 1.0))
+        assert store.load() == store.load()
+
+    def test_fresh_save_subsumes_the_journal(self):
+        store = self._base()
+        store.append_payment("C2", (2.0, 1.0, 1.0))
+        store.save(store.load())  # compaction: snapshot absorbs journal
+        assert store.load().payments_sent["C2"] == (2.0, 1.0, 1.0)
+        store.append_payment("C1", (9.0, 9.0, 0.0))  # later entry wins
+        assert store.load().payments_sent["C1"] == (9.0, 9.0, 0.0)
+
+    def test_append_without_snapshot_is_refused(self):
+        store = CheckpointStore()
+        with pytest.raises(RuntimeError, match="no base snapshot"):
+            store.append_payment("C1", (1.0, 0.0, 1.0))
+
+    def test_awkward_values_round_trip(self):
+        # Escaped names and non-finite floats take the json fallback;
+        # exact float round-trip either way.
+        store = self._base()
+        store.append_payment('C"\\2', (float("inf"), float("nan"), 1e-300))
+        entry = store.load().payments_sent['C"\\2']
+        assert entry[0] == float("inf")
+        assert entry[1] != entry[1]  # NaN round-trips as NaN
+        assert entry[2] == 1e-300
+
+    def test_clear_drops_the_journal_too(self):
+        store = self._base()
+        store.append_payment("C2", (2.0, 1.0, 1.0))
+        store.clear()
+        assert store.load() is None
+        assert not store.has_snapshot
+
+
 class TestCheckpointProgression:
     def test_checkpoints_written_at_each_transition(self):
         store = CheckpointStore()

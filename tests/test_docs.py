@@ -1,9 +1,9 @@
 """Documentation integrity: doctested snippets and intra-repo links.
 
-``docs/api.md`` and ``docs/handbook.md`` promise that every snippet on
-the page runs; this module keeps that promise enforced by the regular
-test suite, and runs the same link + anchor check CI's docs job
-performs via ``tools/check_links.py``.
+``docs/api.md``, ``docs/handbook.md``, and ``docs/distributed.md``
+promise that every snippet on the page runs; this module keeps that
+promise enforced by the regular test suite, and runs the same link +
+anchor check CI's docs job performs via ``tools/check_links.py``.
 """
 
 from __future__ import annotations
@@ -69,6 +69,28 @@ class TestHandbook:
     def test_handbook_reproduces_the_optimum(self):
         text = (REPO_ROOT / "docs" / "handbook.md").read_text()
         assert "78.43" in text, "handbook lost the L* reproduction"
+
+
+class TestDistributedGuide:
+    def test_every_snippet_runs(self):
+        results = doctest.testfile(
+            str(REPO_ROOT / "docs" / "distributed.md"),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.attempted > 20, "docs/distributed.md lost its snippets"
+        assert results.failed == 0
+
+    def test_guide_covers_the_operator_surface(self):
+        text = (REPO_ROOT / "docs" / "distributed.md").read_text()
+        for topic in (
+            "repro serve",
+            "CoordinatorService",
+            "aggregate_shards",
+            "arm_shard_crash",
+            "--shards",
+        ):
+            assert topic in text, f"docs/distributed.md lacks {topic}"
 
 
 class TestIntraRepoLinks:
