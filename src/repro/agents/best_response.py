@@ -14,7 +14,9 @@ Two interchangeable evaluation methods fill the grid:
 * ``"vectorized"`` — the closed-form sufficient-statistic kernel of
   :mod:`repro.agents.kernels`, O(n + grid); available for
   :class:`~repro.mechanism.VerificationMechanism` (both compensation
-  modes).  ``"auto"`` (the default) picks it whenever it applies.
+  modes), :class:`~repro.mechanism.VCGMechanism`, and
+  :class:`~repro.mechanism.ArcherTardosMechanism`.  ``"auto"`` (the
+  default) picks it whenever it applies.
 
 **Tie-break contract** (shared by both methods, pinned by the property
 tests and ``benchmarks/bench_best_response.py``): the grid argmax is

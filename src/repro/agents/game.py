@@ -13,8 +13,9 @@ Two drivers share the :class:`GameTrace` contract:
   :func:`~repro.agents.best_response.best_response` per agent per
   round, recomputing the others' profile from scratch each time; works
   for any mechanism, with a ``method`` switch for the grid evaluation.
-* :class:`BestResponseDynamics` — the fast path for
-  :class:`~repro.mechanism.VerificationMechanism`: maintains the
+* :class:`BestResponseDynamics` — the fast path for every mechanism
+  with a closed-form kernel (:func:`repro.agents.kernels.supports`:
+  the verification mechanism, VCG, and Archer–Tardos): maintains the
   sufficient statistics ``S = sum 1/b_j`` and ``Q = sum t~_j/b_j**2``
   in an :class:`~repro.allocation.IncrementalStrategicState` and feeds
   each agent's step through the closed-form kernel, so a round costs
@@ -153,9 +154,10 @@ class BiddingGame:
 class BestResponseDynamics:
     """Incremental iterated best response through the closed-form kernel.
 
-    Behaviourally equivalent to :class:`BiddingGame` on a
-    :class:`~repro.mechanism.VerificationMechanism` (the property tests
-    pin the agreement), but each agent step reads its leave-one-out
+    Behaviourally equivalent to :class:`BiddingGame` on any mechanism
+    the kernel supports — the verification mechanism, VCG, and
+    Archer–Tardos (the property tests pin the agreement) — but each
+    agent step reads its leave-one-out
     statistics ``(S_{-i}, Q_{-i})`` from an
     :class:`~repro.allocation.IncrementalStrategicState` — two O(1)
     subtractions plus a rank-1 update per step — instead of re-running
@@ -179,7 +181,7 @@ class BestResponseDynamics:
             raise ValueError("best-response dynamics require at least two agents")
         self.arrival_rate = check_positive_scalar(self.arrival_rate, "arrival_rate")
         # Raises TypeError for mechanisms without a closed-form kernel.
-        self._compensation = kernels.compensation_mode_of(self.mechanism)
+        self._mode = kernels.kernel_mode_of(self.mechanism)
 
     @property
     def _execution_cap(self) -> float:
@@ -213,7 +215,7 @@ class BestResponseDynamics:
                     q_minus,
                     float(self.true_values[agent]),
                     self.arrival_rate,
-                    compensation=self._compensation,
+                    mode=self._mode,
                     execution_cap_factor=self._execution_cap,
                 )
                 state.update(agent, new_bid)
@@ -239,7 +241,7 @@ class BestResponseDynamics:
                 q_minus,
                 float(self.true_values[agent]),
                 self.arrival_rate,
-                compensation=self._compensation,
+                mode=self._mode,
                 execution_cap_factor=self._execution_cap,
             )
             br = BestResponse(agent, bid, execution, utility, truthful)

@@ -32,10 +32,28 @@ and under the non-truthful declared variant (``C_i = b x_i**2``):
     ``U_dec(b, e) = R**2 / S_{-i}
                     + (R**2 / S**2) (1/b - 2 e / b**2 - Q_{-i})``.
 
-Both are closed-form in ``(b, e)`` given ``(S_{-i}, Q_{-i}, R)``, so a
-full candidate grid is **one NumPy broadcast** — ``O(grid)`` instead of
-``O(grid * n)`` — and the aggregates themselves admit O(1) rank-1
-updates across best-response rounds
+The two truthful baselines collapse onto the *same* pair of
+aggregates.  VCG's Clarke bonus is evaluated at the **declared**
+latencies — ``L_{-i}^* - sum_j b_j x_j**2`` with
+``sum_j b_j x_j**2 = R**2 / S`` — so with the declared-cost
+compensation ``b x_i**2 = (R**2/S**2)/b`` and the valuation
+``-e x_i**2``,
+
+    ``U_vcg(b, e) = R**2 / S_{-i} - (R**2 / S**2) (S_{-i} + e / b**2)``
+
+(the identity ``1/b - S = -S_{-i}`` folds the compensation into the
+pivot term; note ``Q_{-i}`` drops out — VCG cannot see executions).
+The Archer–Tardos one-parameter payment replaces the pivot with the
+work integral ``R**2 / (S_{-i} (b S_{-i} + 1)) = R**2 / (b S S_{-i})``
+(using ``b S_{-i} + 1 = b S``), giving
+
+    ``U_at(b, e) = (R**2 / S**2) (1/b - e / b**2)
+                   + R**2 / (b S S_{-i})``.
+
+All four are closed-form in ``(b, e)`` given ``(S_{-i}, Q_{-i}, R)``,
+so a full candidate grid is **one NumPy broadcast** — ``O(grid)``
+instead of ``O(grid * n)`` — and the aggregates themselves admit O(1)
+rank-1 updates across best-response rounds
 (:class:`repro.allocation.IncrementalStrategicState`).
 
 Tie-break contract (shared with the brute-force grid search in
@@ -55,7 +73,14 @@ Examples
 (0.5, 0.5)
 >>> float(utility_kernel(1.0, 1.0, s_minus, q_minus, 3.0))   # truthful
 12.0
->>> mech_truth = 12.0  # == VerificationMechanism().utility_of(0, 1, 1, [2.0], 3.0)
+
+When everyone executes exactly as declared, the three truthful payment
+rules coincide at the truthful profile (see ``docs/mechanisms.md``):
+
+>>> float(utility_kernel(1.0, 1.0, s_minus, q_minus, 3.0, mode="vcg"))
+12.0
+>>> float(utility_kernel(1.0, 1.0, s_minus, q_minus, 3.0, mode="archer_tardos"))
+12.0
 """
 
 from __future__ import annotations
@@ -63,7 +88,6 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
-from scipy import optimize
 
 from repro._validation import (
     as_float_array,
@@ -75,7 +99,9 @@ from repro._validation import (
 __all__ = [
     "best_response_fast",
     "best_response_given_stats",
+    "compensation_mode_of",
     "grid_argmax",
+    "kernel_mode_of",
     "refine_from_grid",
     "strategy_grids",
     "sufficient_statistics",
@@ -85,29 +111,83 @@ __all__ = [
     "utility_kernel",
 ]
 
-_COMPENSATION_MODES = ("observed", "declared")
+_KERNEL_MODES = ("observed", "declared", "vcg", "archer_tardos")
+# Historical name for the first two entries, kept for readability at the
+# call sites that only deal with the verification mechanism.
+_COMPENSATION_MODES = _KERNEL_MODES[:2]
 
 
 def supports(mechanism) -> bool:
     """Whether ``mechanism``'s utilities admit the closed-form kernel.
 
     True exactly for :class:`~repro.mechanism.VerificationMechanism`
-    (both compensation modes); the VCG / Archer-Tardos baselines pay
-    through different pivot terms and stay on the brute-force path.
+    (both compensation modes), :class:`~repro.mechanism.VCGMechanism`,
+    and :class:`~repro.mechanism.ArcherTardosMechanism` — the three
+    mechanisms whose payments reduce to the ``(S_{-i}, Q_{-i})``
+    sufficient statistics (module docstring).  Subclasses are *not*
+    assumed to keep the payment rule, so the check is on the exact
+    type; anything else stays on the brute-force path.
     """
-    from repro.mechanism.compensation_bonus import VerificationMechanism
+    from repro.mechanism import (
+        ArcherTardosMechanism,
+        VCGMechanism,
+        VerificationMechanism,
+    )
 
-    return type(mechanism) is VerificationMechanism
+    return type(mechanism) in (
+        VerificationMechanism,
+        VCGMechanism,
+        ArcherTardosMechanism,
+    )
+
+
+def kernel_mode_of(mechanism) -> str:
+    """The kernel mode for a supported mechanism (see :func:`supports`).
+
+    ``"observed"`` / ``"declared"`` for the verification mechanism
+    (whichever compensation it was built with), ``"vcg"`` for the
+    Clarke-pivot baseline, ``"archer_tardos"`` for the one-parameter
+    baseline; ``TypeError`` for anything without a closed form.
+    """
+    from repro.mechanism import (
+        ArcherTardosMechanism,
+        VCGMechanism,
+        VerificationMechanism,
+    )
+
+    if type(mechanism) is VerificationMechanism:
+        return mechanism.compensation_mode
+    if type(mechanism) is VCGMechanism:
+        return "vcg"
+    if type(mechanism) is ArcherTardosMechanism:
+        return "archer_tardos"
+    raise TypeError(
+        f"{type(mechanism).__name__} has no closed-form utility kernel; "
+        "use the brute-force path"
+    )
 
 
 def compensation_mode_of(mechanism) -> str:
-    """The kernel mode for a supported mechanism (see :func:`supports`)."""
-    if not supports(mechanism):
-        raise TypeError(
-            f"{type(mechanism).__name__} has no closed-form utility kernel; "
-            "use the brute-force path"
+    """Alias of :func:`kernel_mode_of` (the pre-1.8 name)."""
+    return kernel_mode_of(mechanism)
+
+
+def _resolve_mode(mode: str | None, compensation: str | None) -> str:
+    """Fold the legacy ``compensation=`` spelling into ``mode=``."""
+    if compensation is not None:
+        if mode is not None and mode != compensation:
+            raise ValueError(
+                "pass either mode= or its alias compensation=, not both"
+            )
+        mode = compensation
+    if mode is None:
+        mode = "observed"
+    if mode not in _KERNEL_MODES:
+        raise ValueError(
+            f"kernel mode (compensation) must be one of {_KERNEL_MODES}, "
+            f"got {mode!r}"
         )
-    return mechanism.compensation_mode
+    return mode
 
 
 def sufficient_statistics(
@@ -192,7 +272,8 @@ def utility_kernel(
     q_minus,
     arrival_rate: float,
     *,
-    compensation: str = "observed",
+    mode: str | None = None,
+    compensation: str | None = None,
 ) -> np.ndarray:
     """Closed-form ``U_i(b, e)`` given the aggregates — broadcastable.
 
@@ -202,6 +283,15 @@ def utility_kernel(
     :func:`sufficient_statistics_all` to score all agents at once).
     Cost is O(1) per evaluated candidate, independent of ``n``.
 
+    ``mode`` selects the payment rule: ``"observed"`` (default) /
+    ``"declared"`` for the verification mechanism, ``"vcg"`` for the
+    Clarke pivot, ``"archer_tardos"`` for the one-parameter baseline
+    (derivations in the module docstring).  ``compensation=`` is the
+    pre-1.8 spelling, kept as an alias.  The VCG and Archer–Tardos
+    forms do not read ``q_minus`` — neither mechanism can see the
+    others' execution values — but the uniform signature keeps the two
+    aggregates flowing through every call site unchanged.
+
     Examples
     --------
     Truth dominates under the observed mode (Theorem 3.1):
@@ -210,18 +300,22 @@ def utility_kernel(
     >>> bool(u[0] > u[1])
     True
     """
-    if compensation not in _COMPENSATION_MODES:
-        raise ValueError(
-            f"compensation must be one of {_COMPENSATION_MODES}, got {compensation!r}"
-        )
+    mode = _resolve_mode(mode, compensation)
     b = np.asarray(bids, dtype=np.float64)
     e = np.asarray(executions, dtype=np.float64)
     total = s_minus + 1.0 / b                       # S = S_{-i} + 1/b
     scale = (arrival_rate / total) ** 2             # R^2 / S^2
     base = arrival_rate**2 / s_minus                # L_{-i}^* = R^2 / S_{-i}
-    if compensation == "observed":
+    if mode == "observed":
         return base - scale * (e / b**2 + q_minus)
-    return base + scale * (1.0 / b - 2.0 * e / b**2 - q_minus)
+    if mode == "declared":
+        return base + scale * (1.0 / b - 2.0 * e / b**2 - q_minus)
+    if mode == "vcg":
+        return base - scale * (s_minus + e / b**2)
+    # archer_tardos: declared-cost compensation + work-integral bonus.
+    return scale * (1.0 / b - e / b**2) + arrival_rate**2 / (
+        b * total * s_minus
+    )
 
 
 def utility_grid(
@@ -231,7 +325,8 @@ def utility_grid(
     q_minus: float,
     arrival_rate: float,
     *,
-    compensation: str = "observed",
+    mode: str | None = None,
+    compensation: str | None = None,
 ) -> np.ndarray:
     """The full candidate surface in one broadcast.
 
@@ -247,7 +342,7 @@ def utility_grid(
         s_minus,
         q_minus,
         arrival_rate,
-        compensation=compensation,
+        mode=_resolve_mode(mode, compensation),
     )
 
 
@@ -322,6 +417,8 @@ def refine_from_grid(
     a flat optimum stays at the grid point.  Returns
     ``(utility, bid, execution)``.
     """
+    from scipy import optimize  # deferred: scipy only on the refine path
+
     best = (grid_utility, float(bid_grid[col]), float(exec_grid[row]))
     lo_b = float(bid_grid[max(0, col - 1)])
     hi_b = float(bid_grid[min(bid_grid.size - 1, col + 1)])
@@ -353,7 +450,8 @@ def best_response_given_stats(
     true_value: float,
     arrival_rate: float,
     *,
-    compensation: str = "observed",
+    mode: str | None = None,
+    compensation: str | None = None,
     bid_bounds_factor: tuple[float, float] = (0.05, 20.0),
     execution_cap_factor: float = 4.0,
     scan_points: int = 48,
@@ -364,14 +462,15 @@ def best_response_given_stats(
 
     The core of :func:`best_response_fast`, usable directly when the
     caller already maintains ``(S_{-i}, Q_{-i})`` incrementally (the
-    dynamics loop).  Returns ``(bid, execution, utility,
+    dynamics loop).  ``mode`` is any kernel mode (``compensation=`` is
+    the pre-1.8 alias).  Returns ``(bid, execution, utility,
     truthful_utility)``; the truth is kept whenever the search does not
     strictly beat it.
     """
+    mode = _resolve_mode(mode, compensation)
     t_i = true_value
     truthful = float(
-        utility_kernel(t_i, t_i, s_minus, q_minus, arrival_rate,
-                       compensation=compensation)
+        utility_kernel(t_i, t_i, s_minus, q_minus, arrival_rate, mode=mode)
     )
     bid_grid, exec_grid = strategy_grids(
         t_i,
@@ -381,16 +480,14 @@ def best_response_given_stats(
         exec_points=exec_points,
     )
     surface = utility_grid(
-        bid_grid, exec_grid, s_minus, q_minus, arrival_rate,
-        compensation=compensation,
+        bid_grid, exec_grid, s_minus, q_minus, arrival_rate, mode=mode,
     )
     row, col = grid_argmax(surface)
     best = (float(surface[row, col]), float(bid_grid[col]), float(exec_grid[row]))
     if refine:
         best = refine_from_grid(
             lambda b, e: float(
-                utility_kernel(b, e, s_minus, q_minus, arrival_rate,
-                               compensation=compensation)
+                utility_kernel(b, e, s_minus, q_minus, arrival_rate, mode=mode)
             ),
             bid_grid,
             exec_grid,
@@ -426,7 +523,8 @@ def best_response_fast(
     (see :func:`grid_argmax`), evaluated in O(n + grid) instead of
     O(grid * n): one pass to form ``(S_{-i}, Q_{-i})``, one broadcast
     for the surface.  Only meaningful for mechanisms with the closed
-    form (:func:`supports`); raises ``TypeError`` otherwise.
+    form (:func:`supports` — the verification mechanism, VCG, and
+    Archer–Tardos); raises ``TypeError`` otherwise.
 
     ``other_executions`` generalises the brute-force path's convention
     (others execute exactly as declared) when the caller knows better.
@@ -434,7 +532,7 @@ def best_response_fast(
     """
     from repro.agents.best_response import BestResponse
 
-    compensation = compensation_mode_of(mechanism)
+    mode = kernel_mode_of(mechanism)
     true_values = as_float_array(true_values, "true_values")
     check_positive(true_values, "true_values")
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
@@ -461,7 +559,7 @@ def best_response_fast(
         q_minus,
         t_i,
         arrival_rate,
-        compensation=compensation,
+        mode=mode,
         bid_bounds_factor=bid_bounds_factor,
         execution_cap_factor=execution_cap_factor,
         scan_points=scan_points,

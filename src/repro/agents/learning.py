@@ -148,15 +148,14 @@ def simulate_learning(
     agent per round, works for any mechanism); ``"vectorized"`` uses
     the closed-form kernel of :mod:`repro.agents.kernels` (O(n + grid)
     per agent per round); ``"auto"`` (default) picks the kernel
-    whenever the mechanism supports it.
+    whenever the mechanism supports it — the verification mechanism,
+    VCG, and Archer–Tardos all do.
     """
     if method not in ("auto", "bruteforce", "vectorized"):
         raise ValueError(f"unknown method {method!r}")
     if method == "auto":
         method = "vectorized" if kernels.supports(mechanism) else "bruteforce"
-    compensation = (
-        kernels.compensation_mode_of(mechanism) if method == "vectorized" else None
-    )
+    mode = kernels.kernel_mode_of(mechanism) if method == "vectorized" else None
     true_values = as_float_array(true_values, "true_values")
     check_positive(true_values, "true_values")
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
@@ -195,7 +194,7 @@ def simulate_learning(
                 s_minus[:, None],
                 q_minus[:, None],
                 arrival_rate,
-                compensation=compensation,
+                mode=mode,
             )
         else:
             all_utilities = np.empty((n, grid.size))

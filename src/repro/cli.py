@@ -14,6 +14,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro metrics --rounds 10 --machines 8 --chaos --json
     repro campaign --workers 4 --seeds 10 --cache-dir .repro-cache
     repro campaign --no-resume       # recompute, but refresh the cache
+    repro tournament                 # verification vs VCG vs Archer-Tardos
 """
 
 from __future__ import annotations
@@ -736,6 +737,61 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     return "\n\n".join(parts)
 
 
+def _cmd_tournament(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.experiments import render_table
+    from repro.experiments.tournament import run_tournament
+    from repro.parallel import CampaignEngine
+
+    engine = CampaignEngine(
+        workers=args.workers,
+        cache=None if args.cache_dir is None else args.cache_dir,
+    )
+    result = run_tournament(engine, dynamics=args.dynamics)
+
+    if args.json:
+        return json.dumps(result.to_json(), indent=2, sort_keys=True)
+
+    parts = [
+        render_table(
+            ["mechanism", "frugality", "worst degr %", "indiv. gain",
+             "collusion wins", "eq. degr %"],
+            [
+                [
+                    s["mechanism"],
+                    f"{s['truthful_frugality_ratio']:.3f}",
+                    f"{s['worst_degradation_percent']:.2f}",
+                    f"{s['max_individual_gain']:.3f}",
+                    f"{s['profitable_collusion_patterns']}",
+                    "-" if s["equilibrium_degradation_percent"] is None
+                    else f"{s['equilibrium_degradation_percent']:.2f}",
+                ]
+                for s in result.standings()
+            ],
+            title="Tournament standings: all payment rules, all liars.",
+        )
+    ]
+    worst = [
+        [r.mechanism, r.pattern, f"{r.degradation_percent:.2f}",
+         f"{r.robustness_gain:+.3f}", "yes" if r.profitable else "no"]
+        for r in sorted(
+            (r for r in result.rows if r.pattern_kind != "truthful"),
+            key=lambda r: r.robustness_gain,
+            reverse=True,
+        )[: args.top]
+    ]
+    parts.append(
+        render_table(
+            ["mechanism", "pattern", "degradation %", "coalition gain",
+             "profitable"],
+            worst,
+            title=f"Top {args.top} manipulations by coalition gain.",
+        )
+    )
+    return "\n\n".join(parts)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> str:
     from repro.experiments import reproduce_all
     from repro.parallel import CampaignEngine
@@ -985,6 +1041,36 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical — see docs/distributed.md)",
     )
     campaign.set_defaults(func=_cmd_campaign)
+
+    tournament = sub.add_parser(
+        "tournament",
+        help="play verification vs VCG vs Archer-Tardos against every "
+        "manipulation pattern (single liars, multi-liar prefixes, "
+        "colluding pairs)",
+    )
+    tournament.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the unit grid (0 = in-process)",
+    )
+    tournament.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache for the cells (default: none)",
+    )
+    tournament.add_argument(
+        "--dynamics", action=argparse.BooleanOptionalAction, default=True,
+        help="iterate best-response dynamics from each mechanism's worst "
+        "profile (--no-dynamics skips the equilibrium stage)",
+    )
+    tournament.add_argument(
+        "--top", type=int, default=10,
+        help="manipulation rows to show, ranked by coalition gain",
+    )
+    tournament.add_argument(
+        "--json", action="store_true",
+        help="emit the full tournament result (rows, equilibrium, "
+        "standings) as JSON",
+    )
+    tournament.set_defaults(func=_cmd_tournament)
 
     serve = sub.add_parser(
         "serve",

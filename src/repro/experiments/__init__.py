@@ -4,7 +4,9 @@
 * :mod:`repro.experiments.table2` — the eight bid/execution scenarios;
 * :mod:`repro.experiments.figures` — data generators for Figures 1–6;
 * :mod:`repro.experiments.report` — plain-text table rendering used by
-  the benchmark harness to print the same rows the paper reports.
+  the benchmark harness to print the same rows the paper reports;
+* :mod:`repro.experiments.tournament` — the cross-mechanism tournament
+  (verification vs VCG vs Archer–Tardos under coalitions of liars).
 """
 
 from repro.experiments.table1 import table1_configuration
@@ -40,6 +42,16 @@ from repro.experiments.io import (
     records_to_csv,
     load_records_json,
 )
+from repro.experiments.tournament import (
+    EquilibriumRow,
+    ManipulationPattern,
+    TOURNAMENT_VARIANTS,
+    TournamentResult,
+    TournamentRow,
+    run_tournament,
+    tournament_patterns,
+    tournament_units,
+)
 
 __all__ = [
     "table1_configuration",
@@ -67,4 +79,12 @@ __all__ = [
     "load_records_json",
     "render_table",
     "render_records",
+    "EquilibriumRow",
+    "ManipulationPattern",
+    "TOURNAMENT_VARIANTS",
+    "TournamentResult",
+    "TournamentRow",
+    "run_tournament",
+    "tournament_patterns",
+    "tournament_units",
 ]

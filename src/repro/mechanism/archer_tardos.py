@@ -23,12 +23,17 @@ This is the mechanism design approach of the companion paper (Grosu &
 Chronopoulos, CLUSTER 2002 — ref [8], there applied to M/M/1 delays).
 It is truthful in *bids* but, like VCG, has no verification step: the
 payment cannot react to the observed execution values.
+
+Strategic-layer queries (``best_response``, ``BestResponseDynamics``,
+``simulate_learning``) run vectorized for this mechanism through the
+``"archer_tardos"`` mode of :mod:`repro.agents.kernels`; the payment
+formulas and kernel derivation are worked through in
+``docs/mechanisms.md``.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import integrate
 
 from repro.allocation.pr import pr_allocation
 from repro.mechanism.base import Mechanism
@@ -59,7 +64,7 @@ class ArcherTardosMechanism(Mechanism):
         inv = 1.0 / bids
         s_minus = inv.sum() - inv  # S_{-i} for every agent at once
         compensation = bids * loads_sq
-        bonus = rate**2 / (s_minus * (bids * s_minus + 1.0))
+        bonus = self.payment_integral(bids, s_minus, rate)
         valuation = -execution_values * loads_sq
         return PaymentResult(
             compensation=compensation, bonus=bonus, valuation=valuation
@@ -68,20 +73,45 @@ class ArcherTardosMechanism(Mechanism):
     # ------------------------------------------------------------ checks
 
     @staticmethod
+    def payment_integral(bids, s_minus, arrival_rate: float):
+        """Closed form of the Archer–Tardos work integral (vectorised).
+
+        ``integral_{b}^{inf} (R / (u S_{-i} + 1))^2 du
+        = R^2 / (S_{-i} (b S_{-i} + 1))`` — the bonus term of
+        :meth:`payments`, exposed so callers (and the regression test
+        against :meth:`payment_integral_numeric`) can evaluate it
+        without running the whole mechanism.  Accepts scalars or
+        broadcast-compatible arrays.
+        """
+        bids = np.asarray(bids, dtype=np.float64)
+        s_minus = np.asarray(s_minus, dtype=np.float64)
+        return arrival_rate**2 / (s_minus * (bids * s_minus + 1.0))
+
+    @staticmethod
     def payment_integral_numeric(
-        bid: float, s_minus: float, arrival_rate: float
+        bid: float,
+        s_minus: float,
+        arrival_rate: float,
+        *,
+        epsabs: float = 1e-12,
+        epsrel: float = 1e-12,
     ) -> float:
         """Numeric quadrature of the payment integral, for cross-checking.
 
         Evaluates ``integral_{bid}^{inf} (R / (u S + 1))^2 du`` with
-        adaptive quadrature; the closed form used by :meth:`payments`
-        must agree to solver precision (tested).
+        adaptive quadrature; :meth:`payment_integral` (the closed form
+        :meth:`payments` uses on its hot path — scipy is only imported
+        here, for this cross-check) must agree to solver precision
+        (tested to ~1e-12 relative).
         """
+        from scipy import integrate  # deferred: quadrature is check-only
 
         def work(u: float) -> float:
             return (arrival_rate / (u * s_minus + 1.0)) ** 2
 
-        value, _abserr = integrate.quad(work, bid, np.inf)
+        value, _abserr = integrate.quad(
+            work, bid, np.inf, epsabs=epsabs, epsrel=epsrel
+        )
         return float(value)
 
     def __repr__(self) -> str:

@@ -19,6 +19,11 @@ slower than it bid is neither detected nor penalised through the
 payment (it only bears its own increased cost).  The verification
 mechanism doubles that penalty — see
 ``benchmarks/bench_baselines.py`` for the quantitative comparison.
+
+Strategic-layer queries (``best_response``, ``BestResponseDynamics``,
+``simulate_learning``) run vectorized for this mechanism through the
+``"vcg"`` mode of :mod:`repro.agents.kernels`; the payment formulas
+and kernel derivation are worked through in ``docs/mechanisms.md``.
 """
 
 from __future__ import annotations

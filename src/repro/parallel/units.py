@@ -69,6 +69,15 @@ class ExperimentUnit:
         RNG seed for protocol units (ignored by scenario units).
     manipulator:
         Index of the machine the factors apply to (C1 by default).
+    manipulators:
+        Optional *coalition*: a tuple of distinct machine indices that
+        all apply the same (bid_factor, execution_factor) — the
+        multi-liar / collusion patterns of the tournament
+        (:mod:`repro.experiments.tournament`).  ``None`` (default)
+        falls back to the single ``manipulator``; when set, the
+        ``manipulator`` field is normalised to the coalition's first
+        member and the tuple itself (sorted) joins the cache key, so
+        every pre-existing single-manipulator key is preserved.
     duration:
         Job-generation window of a protocol unit (simulated seconds).
     execution:
@@ -99,6 +108,7 @@ class ExperimentUnit:
     duration: float = 200.0
     execution: str = "auto"
     shards: int = 1
+    manipulators: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -123,6 +133,18 @@ class ExperimentUnit:
             raise ValueError("arrival_rate must be positive")
         if not 0 <= self.manipulator < len(values):
             raise ValueError("manipulator out of range")
+        if self.manipulators is not None:
+            coalition = tuple(sorted(int(i) for i in self.manipulators))
+            if not coalition:
+                raise ValueError("manipulators must name at least one machine")
+            if len(set(coalition)) != len(coalition):
+                raise ValueError("manipulators must be distinct")
+            if not all(0 <= i < len(values) for i in coalition):
+                raise ValueError("manipulators out of range")
+            object.__setattr__(self, "manipulators", coalition)
+            # Normalised so equal coalitions compare (and hash) equal
+            # regardless of what the single-manipulator field said.
+            object.__setattr__(self, "manipulator", coalition[0])
         if self.duration <= 0.0:
             raise ValueError("duration must be positive")
         from repro.protocol.execution import EXECUTION_MODES, resolve_execution
@@ -156,6 +178,10 @@ class ExperimentUnit:
             "variant": self.variant,
             "manipulator": self.manipulator,
         }
+        if self.manipulators is not None:
+            # Included only for coalition units, so every pre-existing
+            # single-manipulator cache key is preserved.
+            config["manipulators"] = list(self.manipulators)
         if self.kind == "protocol":
             config["seed"] = self.seed
             config["duration"] = self.duration
@@ -173,6 +199,8 @@ class ExperimentUnit:
         known = {f.name for f in fields(cls)}
         kwargs = {k: v for k, v in config.items() if k in known}
         kwargs["true_values"] = tuple(kwargs["true_values"])
+        if kwargs.get("manipulators") is not None:
+            kwargs["manipulators"] = tuple(kwargs["manipulators"])
         return cls(**kwargs)
 
 
@@ -256,8 +284,13 @@ def _profile(unit: ExperimentUnit) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     true_values = np.asarray(unit.true_values, dtype=np.float64)
     bids = true_values.copy()
     executions = true_values.copy()
-    bids[unit.manipulator] *= unit.bid_factor
-    executions[unit.manipulator] *= unit.execution_factor
+    liars = (
+        list(unit.manipulators)
+        if unit.manipulators is not None
+        else [unit.manipulator]
+    )
+    bids[liars] *= unit.bid_factor
+    executions[liars] *= unit.execution_factor
     return true_values, bids, executions
 
 
@@ -337,11 +370,17 @@ def _execute_protocol(unit: ExperimentUnit) -> dict:
     truthful = unit.bid_factor == 1.0 and unit.execution_factor == 1.0
     agents = [TruthfulAgent(t) for t in unit.true_values]
     if not truthful:
-        agents[unit.manipulator] = ManipulativeAgent(
-            unit.true_values[unit.manipulator],
-            unit.bid_factor,
-            unit.execution_factor,
+        liars = (
+            unit.manipulators
+            if unit.manipulators is not None
+            else (unit.manipulator,)
         )
+        for liar in liars:
+            agents[liar] = ManipulativeAgent(
+                unit.true_values[liar],
+                unit.bid_factor,
+                unit.execution_factor,
+            )
     mechanism = None if unit.variant == "observed" else _mechanism_for(unit.variant)
     if unit.shards > 1:
         return _execute_protocol_sharded(unit, agents, mechanism)

@@ -23,11 +23,27 @@ from repro.agents import (
 )
 from repro.agents import kernels
 from repro.allocation import IncrementalStrategicState
-from repro.mechanism import VCGMechanism, VerificationMechanism
+from repro.mechanism import (
+    ArcherTardosMechanism,
+    MM1TruthfulMechanism,
+    VCGMechanism,
+    VerificationMechanism,
+)
 from repro.system import paper_cluster
 from repro.system.cluster import PAPER_ARRIVAL_RATE
 
 RELATIVE_TOLERANCE = 1e-9
+
+KERNEL_MODES = ("observed", "declared", "vcg", "archer_tardos")
+TRUTHFUL_MODES = ("observed", "vcg", "archer_tardos")
+
+
+def _mechanism_for_mode(mode: str):
+    if mode in ("observed", "declared"):
+        return VerificationMechanism(mode)
+    if mode == "vcg":
+        return VCGMechanism()
+    return ArcherTardosMechanism()
 
 
 def _run_utility(mechanism, bids, arrival_rate, executions, agent):
@@ -39,9 +55,9 @@ def _run_utility(mechanism, bids, arrival_rate, executions, agent):
 
 
 class TestUtilityKernel:
-    @pytest.mark.parametrize("compensation", ["observed", "declared"])
-    def test_matches_mechanism_run_on_random_profiles(self, compensation, rng):
-        mechanism = VerificationMechanism(compensation)
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_matches_mechanism_run_on_random_profiles(self, mode, rng):
+        mechanism = _mechanism_for_mode(mode)
         for _ in range(50):
             n = int(rng.integers(2, 8))
             bids = rng.uniform(0.2, 8.0, n)
@@ -61,7 +77,7 @@ class TestUtilityKernel:
                     s_minus,
                     q_minus,
                     arrival_rate,
-                    compensation=compensation,
+                    mode=mode,
                 )
             )
             assert actual == pytest.approx(expected, rel=RELATIVE_TOLERANCE)
@@ -75,15 +91,39 @@ class TestUtilityKernel:
             for j, b in enumerate(bids):
                 assert surface[i, j] == utility_kernel(b, e, 0.8, 0.9, 5.0)
 
-    def test_rejects_unknown_compensation(self):
+    def test_rejects_unknown_mode_under_either_spelling(self):
         with pytest.raises(ValueError, match="compensation"):
             utility_kernel(1.0, 1.0, 0.5, 0.5, 3.0, compensation="bogus")
+        with pytest.raises(ValueError, match="mode"):
+            utility_kernel(1.0, 1.0, 0.5, 0.5, 3.0, mode="bogus")
+        with pytest.raises(ValueError, match="not both"):
+            utility_kernel(
+                1.0, 1.0, 0.5, 0.5, 3.0, mode="observed", compensation="declared"
+            )
 
-    def test_supports_only_verification_mechanism(self):
+    def test_compensation_alias_matches_mode(self):
+        via_alias = utility_kernel(1.3, 1.3, 0.5, 0.5, 3.0, compensation="declared")
+        via_mode = utility_kernel(1.3, 1.3, 0.5, 0.5, 3.0, mode="declared")
+        assert float(via_alias) == float(via_mode)
+
+    def test_supports_the_three_closed_form_mechanisms(self):
         assert kernels.supports(VerificationMechanism())
-        assert not kernels.supports(VCGMechanism())
+        assert kernels.supports(VerificationMechanism("declared"))
+        assert kernels.supports(VCGMechanism())
+        assert kernels.supports(ArcherTardosMechanism())
+        assert not kernels.supports(MM1TruthfulMechanism())
+
+    def test_kernel_mode_of_maps_each_mechanism(self):
+        assert kernels.kernel_mode_of(VerificationMechanism()) == "observed"
+        assert (
+            kernels.kernel_mode_of(VerificationMechanism("declared")) == "declared"
+        )
+        assert kernels.kernel_mode_of(VCGMechanism()) == "vcg"
+        assert kernels.kernel_mode_of(ArcherTardosMechanism()) == "archer_tardos"
+        # The pre-1.8 name stays a working alias.
+        assert kernels.compensation_mode_of(VCGMechanism()) == "vcg"
         with pytest.raises(TypeError, match="closed-form utility kernel"):
-            kernels.compensation_mode_of(VCGMechanism())
+            kernels.kernel_mode_of(MM1TruthfulMechanism())
 
 
 class TestSufficientStatistics:
@@ -121,7 +161,7 @@ def _search_cases(draw):
         "true_values": true_values,
         "arrival_rate": draw(st.floats(min_value=0.5, max_value=40.0)),
         "agent": draw(st.integers(min_value=0, max_value=n - 1)),
-        "compensation": draw(st.sampled_from(["observed", "declared"])),
+        "mode": draw(st.sampled_from(KERNEL_MODES)),
         "scan_points": draw(st.integers(min_value=8, max_value=24)),
         "exec_points": draw(st.integers(min_value=2, max_value=5)),
         "execution_cap_factor": draw(st.sampled_from([1.0, 2.0, 4.0])),
@@ -130,9 +170,9 @@ def _search_cases(draw):
 
 class TestFastMatchesBruteForce:
     @given(case=_search_cases())
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=40, deadline=None)
     def test_identical_grid_selection_and_utilities(self, case):
-        mechanism = VerificationMechanism(case.pop("compensation"))
+        mechanism = _mechanism_for_mode(case.pop("mode"))
         common = dict(case, refine=False)
         true_values = np.array(common.pop("true_values"))
         arrival_rate = common.pop("arrival_rate")
@@ -163,7 +203,20 @@ class TestFastMatchesBruteForce:
 
     def test_fast_rejects_unsupported_mechanisms(self):
         with pytest.raises(TypeError, match="closed-form utility kernel"):
-            best_response_fast(VCGMechanism(), [1.0, 2.0], 3.0, 0)
+            best_response_fast(MM1TruthfulMechanism(), [1.0, 2.0], 3.0, 0)
+
+    @pytest.mark.parametrize("mode", ["vcg", "archer_tardos"])
+    def test_auto_selects_the_kernel_for_the_baselines(self, mode):
+        # The baselines are kernel-supported since 1.8: method="auto"
+        # must pick the identical selection the brute path computes.
+        mechanism = _mechanism_for_mode(mode)
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        auto = best_response(mechanism, t, 4.0, 1, refine=False)
+        brute = best_response(
+            mechanism, t, 4.0, 1, method="bruteforce", refine=False
+        )
+        assert (auto.bid, auto.execution_value) == (brute.bid, brute.execution_value)
+        assert auto.is_truthful and brute.is_truthful
 
     def test_respects_other_bids(self, declared_mechanism, small_true_values):
         others = np.array([2.0, 2.0, 5.0, 12.0])
@@ -182,9 +235,9 @@ class TestFastMatchesBruteForce:
 
 
 class TestBestResponseDynamics:
-    @pytest.mark.parametrize("compensation", ["observed", "declared"])
-    def test_traces_match_bidding_game(self, compensation):
-        mechanism = VerificationMechanism(compensation)
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_traces_match_bidding_game(self, mode):
+        mechanism = _mechanism_for_mode(mode)
         t = np.array([1.0, 2.0, 5.0, 10.0])
         start = np.array([3.0, 2.0, 4.0, 15.0])
         slow = BiddingGame(mechanism, t, 4.0).run(start_bids=start, max_rounds=6)
@@ -199,13 +252,64 @@ class TestBestResponseDynamics:
 
     def test_rejects_mechanisms_without_a_kernel(self):
         with pytest.raises(TypeError, match="closed-form utility kernel"):
-            BestResponseDynamics(VCGMechanism(), [1.0, 2.0], 3.0)
+            BestResponseDynamics(MM1TruthfulMechanism(), [1.0, 2.0], 3.0)
 
-    def test_truthful_profile_is_a_fixed_point(self, mechanism):
+    @pytest.mark.parametrize("mode", TRUTHFUL_MODES)
+    def test_truthful_profile_is_a_fixed_point(self, mode):
         t = np.array([1.0, 2.0, 5.0, 10.0])
-        trace = BestResponseDynamics(mechanism, t, 4.0).run()
+        trace = BestResponseDynamics(_mechanism_for_mode(mode), t, 4.0).run()
         assert trace.converged and trace.rounds == 1
         assert trace.max_drift_from(t) < 1e-6
+
+
+@st.composite
+def _truthful_profiles(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    return {
+        "true_values": draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=10.0),
+                min_size=n, max_size=n,
+            )
+        ),
+        "arrival_rate": draw(st.floats(min_value=0.5, max_value=40.0)),
+        "agent": draw(st.integers(min_value=0, max_value=n - 1)),
+        "mode": draw(st.sampled_from(TRUTHFUL_MODES)),
+    }
+
+
+class TestTruthfulnessProperty:
+    """Truth is a best response under every truthful payment rule.
+
+    Theorem 3.1 (verification, observed), the Clarke pivot, and the
+    Archer–Tardos characterisation all promise the same thing: no
+    unilateral (bid, execution) deviation beats the truthful pair.  The
+    sweep checks it up to grid resolution through both search paths.
+    """
+
+    @given(case=_truthful_profiles())
+    @settings(max_examples=40, deadline=None)
+    def test_truthful_bid_is_a_best_response(self, case):
+        mechanism = _mechanism_for_mode(case["mode"])
+        response = best_response(
+            mechanism,
+            np.array(case["true_values"]),
+            case["arrival_rate"],
+            case["agent"],
+            refine=False,
+        )
+        assert response.is_truthful
+
+    @pytest.mark.parametrize("mode", TRUTHFUL_MODES)
+    def test_declared_variant_is_the_odd_one_out(self, mode):
+        # Sanity anchor for the property above: the same search that
+        # certifies the three truthful rules does flag the declared
+        # variant's profitable overbid.
+        t = np.array([1.0, 2.0, 5.0, 10.0])
+        truthful = best_response(_mechanism_for_mode(mode), t, 4.0, 0)
+        declared = best_response(VerificationMechanism("declared"), t, 4.0, 0)
+        assert truthful.is_truthful
+        assert not declared.is_truthful
 
 
 class TestPaperSystemRegression:

@@ -68,6 +68,67 @@ class TestExperimentUnit:
         assert unit_cache_key(a) != unit_cache_key(b)
 
 
+class TestManipulatorCoalitions:
+    """The tournament's multi-liar field rides on the same cache rules."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            paper_unit(manipulators=())
+        with pytest.raises(ValueError, match="distinct"):
+            paper_unit(manipulators=(1, 1))
+        with pytest.raises(ValueError, match="out of range"):
+            paper_unit(manipulators=(0, 99))
+
+    def test_coalition_is_sorted_and_pins_the_manipulator(self):
+        unit = paper_unit(manipulators=(5, 2), manipulator=9)
+        assert unit.manipulators == (2, 5)
+        assert unit.manipulator == 2
+
+    def test_single_manipulator_units_keep_their_keys(self):
+        # The optional field must not perturb any pre-existing key.
+        assert "manipulators" not in paper_unit().as_config()
+        assert unit_cache_key(paper_unit()) == unit_cache_key(
+            paper_unit(manipulators=None)
+        )
+
+    def test_coalition_changes_the_key(self):
+        base = unit_cache_key(paper_unit(bid_factor=3.0))
+        pair = unit_cache_key(paper_unit(bid_factor=3.0, manipulators=(0, 1)))
+        assert pair != base
+        assert pair != unit_cache_key(
+            paper_unit(bid_factor=3.0, manipulators=(0, 2))
+        )
+
+    def test_config_round_trip(self):
+        unit = paper_unit(manipulators=(0, 3), bid_factor=0.5,
+                          execution_factor=2.0)
+        assert ExperimentUnit.from_config(unit.as_config()) == unit
+
+    def test_scenario_profile_applies_factors_to_every_member(self):
+        unit = paper_unit(bid_factor=3.0, execution_factor=3.0,
+                          manipulators=(0, 1))
+        payload = execute_unit(unit)
+        t = np.asarray(unit.true_values)
+        assert payload["bids"][:2] == (3.0 * t[:2]).tolist()
+        assert payload["execution_values"][:2] == (3.0 * t[:2]).tolist()
+        assert payload["bids"][2:] == t[2:].tolist()
+
+    def test_coalition_of_one_matches_the_single_manipulator_payload(self):
+        single = paper_unit(bid_factor=3.0, manipulator=1)
+        coalition = paper_unit(bid_factor=3.0, manipulators=(1,))
+        assert execute_unit(single) == execute_unit(coalition)
+
+    def test_protocol_coalition_has_two_manipulative_agents(self):
+        unit = paper_unit(
+            kind="protocol", bid_factor=3.0, execution_factor=3.0,
+            manipulators=(0, 1), duration=20.0,
+        )
+        payload = execute_unit(unit)
+        t = np.asarray(unit.true_values)
+        assert payload["true_execution_values"][:2] == (3.0 * t[:2]).tolist()
+        assert payload["true_execution_values"][2:] == t[2:].tolist()
+
+
 class TestCanonicalise:
     def test_dict_order_is_erased(self):
         assert canonical_json({"a": 1, "b": 2}) == canonical_json(

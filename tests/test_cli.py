@@ -282,6 +282,37 @@ class TestCampaign:
         assert (tmp_path / "cache").is_dir()
 
 
+class TestTournament:
+    def test_standings_list_all_three_mechanisms(self, capsys):
+        out = run_cli(capsys, "tournament")
+        assert "Tournament standings" in out
+        for mechanism in ("observed", "vcg", "archer-tardos"):
+            assert mechanism in out
+
+    def test_collusion_rows_lead_the_manipulation_table(self, capsys):
+        out = run_cli(capsys, "tournament", "--top", "3")
+        assert "collude(0,2)" in out
+        assert "yes" in out          # profitable only under verification
+
+    def test_json_exports_the_full_result(self, capsys):
+        import json
+
+        out = run_cli(capsys, "tournament", "--json", "--no-dynamics")
+        data = json.loads(out)
+        assert data["schema_version"] == 1
+        assert len(data["standings"]) == 3
+        assert data["equilibrium"] == []
+        assert {r["mechanism"] for r in data["rows"]} == {
+            "observed", "vcg", "archer-tardos"
+        }
+
+    def test_cache_dir_serves_the_second_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = run_cli(capsys, "tournament", "--cache-dir", cache, "--json")
+        second = run_cli(capsys, "tournament", "--cache-dir", cache, "--json")
+        assert first == second
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,6 +1,7 @@
 """Documentation integrity: doctested snippets and intra-repo links.
 
-``docs/api.md``, ``docs/handbook.md``, and ``docs/distributed.md``
+``docs/api.md``, ``docs/handbook.md``, ``docs/distributed.md``, and
+``docs/mechanisms.md``
 promise that every snippet on the page runs; this module keeps that
 promise enforced by the regular test suite, and runs the same link +
 anchor check CI's docs job performs via ``tools/check_links.py``.
@@ -91,6 +92,37 @@ class TestDistributedGuide:
             "--shards",
         ):
             assert topic in text, f"docs/distributed.md lacks {topic}"
+
+
+class TestMechanismGuide:
+    def test_every_snippet_runs(self):
+        results = doctest.testfile(
+            str(REPO_ROOT / "docs" / "mechanisms.md"),
+            module_relative=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.attempted > 20, "docs/mechanisms.md lost its snippets"
+        assert results.failed == 0
+
+    def test_guide_covers_all_three_mechanisms(self):
+        text = (REPO_ROOT / "docs" / "mechanisms.md").read_text()
+        for topic in (
+            "VerificationMechanism",
+            "VCGMechanism",
+            "ArcherTardosMechanism",
+            "S₋ᵢ",
+            "Q₋ᵢ",
+            "payment_integral",
+            "kernel_mode_of",
+            "repro tournament",
+            "TOURNAMENT_results.json",
+        ):
+            assert topic in text, f"docs/mechanisms.md lacks {topic}"
+
+    def test_guide_quotes_the_kernel_formulas(self):
+        text = (REPO_ROOT / "docs" / "mechanisms.md").read_text()
+        for mode in ("observed:", "declared:", "vcg:", "archer_tardos:"):
+            assert mode in text, f"docs/mechanisms.md lost the {mode} kernel"
 
 
 class TestIntraRepoLinks:
