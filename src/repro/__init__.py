@@ -92,7 +92,7 @@ from repro.experiments import (
     figure6_truthful_structure,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AllocationResult",

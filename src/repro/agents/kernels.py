@@ -101,11 +101,13 @@ __all__ = [
     "best_response_given_stats",
     "compensation_mode_of",
     "grid_argmax",
+    "grid_argmax_units",
     "kernel_mode_of",
     "refine_from_grid",
     "strategy_grids",
     "sufficient_statistics",
     "sufficient_statistics_all",
+    "sufficient_statistics_units",
     "supports",
     "utility_grid",
     "utility_kernel",
@@ -265,12 +267,54 @@ def sufficient_statistics_all(
     return inv.sum() - inv, weighted.sum() - weighted
 
 
+def sufficient_statistics_units(
+    bids: np.ndarray,
+    executions: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(S_{-i}, Q_{-i})`` for every agent of every unit at once.
+
+    The batched-unit axis of :func:`sufficient_statistics_all`:
+    ``bids`` (and ``executions``, defaulting to the bids) are ``(U, n)``
+    blocks with one *unit* — one independent scenario — per row, and
+    both returned arrays are ``(U, n)``.  Row ``k`` is bit-identical to
+    ``sufficient_statistics_all(bids[k], executions[k])``: reducing a
+    C-contiguous block along its last axis applies the same pairwise
+    summation per row that a lone vector's ``.sum()`` does, so stacking
+    units never changes a float.  This is the aggregate layer of the
+    fused campaign backend (:mod:`repro.parallel.fusion`) and of the
+    cohort-stacked generalization study.
+
+    Examples
+    --------
+    >>> s, q = sufficient_statistics_units([[1.0, 2.0, 4.0]] * 2)
+    >>> (float(s[0, 0]), float(q[1, 0]))
+    (0.75, 0.75)
+    """
+    bids = np.asarray(bids, dtype=np.float64)
+    if bids.ndim != 2:
+        raise ValueError("bids must be a (units, agents) matrix")
+    check_positive(bids, "bids")
+    if executions is None:
+        executions = bids
+    else:
+        executions = np.asarray(executions, dtype=np.float64)
+        check_positive(executions, "executions")
+        if executions.shape != bids.shape:
+            raise ValueError("executions must match the bids shape")
+    inv = 1.0 / bids
+    weighted = executions * inv * inv
+    return (
+        inv.sum(axis=1, keepdims=True) - inv,
+        weighted.sum(axis=1, keepdims=True) - weighted,
+    )
+
+
 def utility_kernel(
     bids,
     executions,
     s_minus,
     q_minus,
-    arrival_rate: float,
+    arrival_rate,
     *,
     mode: str | None = None,
     compensation: str | None = None,
@@ -280,8 +324,11 @@ def utility_kernel(
     ``bids`` and ``executions`` may be scalars or arrays of any
     broadcast-compatible shapes; the result has the broadcast shape.
     ``s_minus``/``q_minus`` broadcast too (pass per-row columns from
-    :func:`sufficient_statistics_all` to score all agents at once).
-    Cost is O(1) per evaluated candidate, independent of ``n``.
+    :func:`sufficient_statistics_all` to score all agents at once), and
+    so does ``arrival_rate`` — pass a ``(U, 1)`` column alongside
+    ``(U, n)`` statistics from :func:`sufficient_statistics_units` to
+    score a whole cohort of units, each with its own ``R``, in one
+    call.  Cost is O(1) per evaluated candidate, independent of ``n``.
 
     ``mode`` selects the payment rule: ``"observed"`` (default) /
     ``"declared"`` for the verification mechanism, ``"vcg"`` for the
@@ -363,6 +410,31 @@ def grid_argmax(utilities: np.ndarray) -> tuple[int, int]:
     utilities = np.asarray(utilities)
     flat = int(np.argmax(utilities))
     n_bids = utilities.shape[1]
+    return flat // n_bids, flat % n_bids
+
+
+def grid_argmax_units(utilities: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-unit :func:`grid_argmax` over stacked utility grids.
+
+    ``utilities`` is ``(U, executions, bids)`` — one grid per unit —
+    and the result is a pair of integer vectors ``(rows, cols)`` with
+    ``(rows[k], cols[k]) == grid_argmax(utilities[k])`` for every
+    ``k``: the same flat C-order first-maximum rule, applied row-wise,
+    so the batched-unit axis inherits the tie-break contract verbatim.
+
+    Examples
+    --------
+    >>> grids = np.array([[[1.0, 3.0], [3.0, 0.0]],
+    ...                   [[0.0, 1.0], [2.0, 2.0]]])
+    >>> rows, cols = grid_argmax_units(grids)
+    >>> (rows.tolist(), cols.tolist())
+    ([0, 1], [1, 0])
+    """
+    utilities = np.asarray(utilities)
+    if utilities.ndim != 3:
+        raise ValueError("utilities must be (units, executions, bids)")
+    n_bids = utilities.shape[2]
+    flat = utilities.reshape(utilities.shape[0], -1).argmax(axis=1)
     return flat // n_bids, flat % n_bids
 
 

@@ -666,6 +666,7 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         workers=args.workers,
         cache=None if args.no_cache else args.cache_dir,
         reuse_cache=args.resume,
+        fuse=args.fuse,
     )
     with instrumented() as instr:
         result = engine.run(units)
@@ -683,6 +684,10 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
                 "hit_rate": stats.hit_rate,
                 "workers": stats.workers,
                 "chunks": stats.chunks,
+                "fuse": args.fuse,
+                "fused_cohorts": stats.fused_cohorts,
+                "fused_units": stats.fused_units,
+                "fallback_units": stats.fallback_units,
                 "wall_seconds": stats.wall_seconds,
                 "computed_seconds": stats.computed_seconds,
                 "keys": list(result.keys),
@@ -702,6 +707,8 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         ["hit rate", f"{100 * stats.hit_rate:.1f}%"],
         ["workers", stats.workers],
         ["chunks dispatched", stats.chunks],
+        ["fusion", f"{args.fuse}: {stats.fused_cohorts} cohort(s), "
+         f"{stats.fused_units} fused / {stats.fallback_units} fallback"],
         ["wall-clock", f"{stats.wall_seconds:.3f}s"],
         ["compute time (all workers)", f"{stats.computed_seconds:.3f}s"],
         ["unit latency p50", _fmt_unit_seconds(stats.unit_p50)],
@@ -747,6 +754,7 @@ def _cmd_tournament(args: argparse.Namespace) -> str:
     engine = CampaignEngine(
         workers=args.workers,
         cache=None if args.cache_dir is None else args.cache_dir,
+        fuse=args.fuse,
     )
     result = run_tournament(engine, dynamics=args.dynamics)
 
@@ -1040,6 +1048,12 @@ def build_parser() -> argparse.ArgumentParser:
         "replication through the sharded service; payloads stay "
         "bit-identical — see docs/distributed.md)",
     )
+    campaign.add_argument(
+        "--fuse", choices=("auto", "on", "off"), default="auto",
+        help="fused cohort backend: evaluate homogeneous closed-form "
+        "misses as single stacked broadcasts (bit-identical, same cache "
+        "keys; 'off' restores the pure per-unit path)",
+    )
     campaign.set_defaults(func=_cmd_campaign)
 
     tournament = sub.add_parser(
@@ -1069,6 +1083,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full tournament result (rows, equilibrium, "
         "standings) as JSON",
+    )
+    tournament.add_argument(
+        "--fuse", choices=("auto", "on", "off"), default="auto",
+        help="fused cohort backend for the unit grid (bit-identical; "
+        "'off' restores the per-unit path)",
     )
     tournament.set_defaults(func=_cmd_tournament)
 

@@ -43,7 +43,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import check_positive_scalar
-from repro.agents.kernels import sufficient_statistics, utility_kernel
+from repro.agents.kernels import (
+    sufficient_statistics,
+    sufficient_statistics_units,
+    utility_kernel,
+)
 from repro.experiments.table2 import PAPER_SCENARIOS
 from repro.mechanism.batch import batch_run
 from repro.system.cluster import random_cluster
@@ -124,6 +128,65 @@ def _evaluate_config(args: tuple[np.ndarray, float]) -> dict[str, bool]:
     return _evaluate_one(true_values, arrival_rate)
 
 
+def _evaluate_cohort(
+    true_values: np.ndarray, arrival_rate: float
+) -> dict[str, np.ndarray]:
+    """:func:`_evaluate_one` for a whole same-``n`` cohort at once.
+
+    ``true_values`` is ``(G, n)`` — one configuration per row, all
+    sharing the arrival rate (the study scales ``R`` with ``n``, so
+    same-``n`` cohorts share it by construction).  Returns the seven
+    verdicts as boolean vectors; every entry is identical to the
+    per-config path's because each step stacks bit-exactly: row-wise
+    ``argmin``/aggregates match their scalar forms, the kernel is
+    elementwise, and :func:`batch_run` is row-independent.
+    """
+    true_values = np.asarray(true_values, dtype=np.float64)
+    rows = np.arange(true_values.shape[0])
+    manipulators = np.argmin(true_values, axis=1)  # fastest machine per row
+
+    t1 = true_values[rows, manipulators]           # (G,)
+    bid_factors = np.array([s.bid_factor for s in PAPER_SCENARIOS])
+    exec_factors = np.array([s.execution_factor for s in PAPER_SCENARIOS])
+    bids_m = t1[:, None] * bid_factors             # (G, 8)
+    execs_m = t1[:, None] * exec_factors
+    s_all, q_all = sufficient_statistics_units(true_values)
+    s_minus = s_all[rows, manipulators][:, None]   # (G, 1)
+    q_minus = q_all[rows, manipulators][:, None]
+    total = s_minus + 1.0 / bids_m
+    latencies = (arrival_rate / total) ** 2 * (
+        execs_m / bids_m**2 + q_minus
+    )                                              # (G, 8)
+    utilities = utility_kernel(
+        bids_m, execs_m, s_minus, q_minus, arrival_rate, compensation="observed"
+    )
+    names = [s.name for s in PAPER_SCENARIOS]
+    col = {name: i for i, name in enumerate(names)}
+
+    truthful = batch_run(true_values, arrival_rate)
+    frugality = truthful.payment.sum(axis=1) / np.abs(
+        truthful.valuation
+    ).sum(axis=1)
+
+    lat_true1 = latencies[:, col["True1"]]
+    lat_low2 = latencies[:, col["Low2"]]
+    return {
+        "true1_is_minimum": lat_true1 == latencies.min(axis=1),
+        "c1_utility_peaks_at_true1": (
+            utilities[:, col["True1"]] == utilities.max(axis=1)
+        ),
+        "vp_holds": (truthful.utility >= -1e-9).all(axis=1),
+        "high_ordering_holds": (
+            (latencies[:, col["High2"]] < latencies[:, col["High3"]])
+            & (latencies[:, col["High3"]] < latencies[:, col["High1"]])
+            & (latencies[:, col["High1"]] < latencies[:, col["High4"]])
+        ),
+        "low2_is_worst": lat_low2 == latencies.max(axis=1),
+        "frugality_within_2_5": (1.0 <= frugality) & (frugality <= 2.5),
+        "low2_utility_negative": utilities[:, col["Low2"]] < 0.0,
+    }
+
+
 def generalization_study(
     rng: np.random.Generator,
     *,
@@ -132,6 +195,7 @@ def generalization_study(
     t_range: tuple[float, float] = (1.0, 10.0),
     load_per_machine: float = 1.25,
     workers: int = 0,
+    fuse: str = "auto",
 ) -> GeneralizationResult:
     """Re-run the Section 4 suite on random configurations.
 
@@ -141,10 +205,21 @@ def generalization_study(
     machine, as in the A2 sweep).  The Table 2 manipulations are
     applied to the fastest machine (the analogue of C1).
 
-    ``workers > 1`` evaluates the configurations over a process pool
-    (via :func:`repro.parallel.parallel_map`).  All configurations are
-    drawn from ``rng`` *before* any evaluation, so the random stream —
-    and therefore the result — is bit-identical to the serial path.
+    ``fuse`` mirrors the campaign engine's contract: same-``n``
+    configurations form a cohort (they share the arrival rate by
+    construction) and each cohort is scored as one stacked broadcast —
+    ``"auto"`` (default) fuses cohorts of two or more, ``"on"`` fuses
+    all, ``"off"`` keeps the per-configuration path.  Verdicts are
+    bit-identical either way (:func:`_evaluate_cohort`), so the
+    reported fractions never depend on the setting.
+
+    ``workers > 1`` evaluates the *unfused* configurations over a
+    process pool (via :func:`repro.parallel.parallel_map`); fused
+    cohorts are evaluated in-process, where a broadcast beats the
+    pool's pickling.  All configurations are drawn from ``rng``
+    *before* any evaluation, so the random stream — and therefore the
+    result — is bit-identical across every ``workers``/``fuse``
+    combination.
     """
     if n_configurations < 1:
         raise ValueError("n_configurations must be at least 1")
@@ -152,6 +227,8 @@ def generalization_study(
     if not 2 <= lo <= hi:
         raise ValueError("n_machines_range must satisfy 2 <= lo <= hi")
     check_positive_scalar(load_per_machine, "load_per_machine")
+    if fuse not in ("auto", "on", "off"):
+        raise ValueError(f"fuse must be 'auto', 'on', or 'off', got {fuse!r}")
 
     counters = {
         "true1_is_minimum": 0,
@@ -168,9 +245,25 @@ def generalization_study(
         cluster = random_cluster(n, rng, t_range=t_range)
         configs.append((cluster.true_values, load_per_machine * n))
 
+    singles = configs
+    if fuse != "off":
+        cohorts: dict[int, list[tuple[np.ndarray, float]]] = {}
+        for config in configs:
+            cohorts.setdefault(config[0].size, []).append(config)
+        singles = []
+        for members in cohorts.values():
+            if fuse == "auto" and len(members) < 2:
+                singles.extend(members)
+                continue
+            verdicts = _evaluate_cohort(
+                np.array([tv for tv, _ in members]), members[0][1]
+            )
+            for key, held in verdicts.items():
+                counters[key] += int(held.sum())
+
     from repro.parallel.engine import parallel_map
 
-    for verdicts in parallel_map(_evaluate_config, configs, workers=workers):
+    for verdicts in parallel_map(_evaluate_config, singles, workers=workers):
         for key, held in verdicts.items():
             counters[key] += bool(held)
 

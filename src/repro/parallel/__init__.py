@@ -16,6 +16,11 @@ config.  This subpackage exploits exactly that and nothing more:
   cache hit/miss counters and per-unit latency histograms via the
   observability layer, per-worker span export; plus the generic
   :func:`parallel_map` the heavy benchmark drivers submit through;
+* :mod:`repro.parallel.fusion` — the fused backend (1.9.0): homogeneous
+  closed-form cache misses grouped into ``(variant, n_machines)``
+  cohorts and evaluated as single stacked broadcasts, bit-identical to
+  :func:`execute_unit` and cached under unchanged keys
+  (``CampaignEngine(fuse="auto"|"on"|"off")``);
 * :mod:`repro.parallel.campaigns` — the paper's evaluation as unit
   lists, and the exact payload→record reconstruction the figure
   generators consume.
@@ -40,6 +45,13 @@ from repro.parallel.engine import (
     default_chunk_size,
     parallel_map,
 )
+from repro.parallel.fusion import (
+    FUSE_MODES,
+    cohort_key,
+    execute_cohort,
+    fusable,
+    partition_pending,
+)
 from repro.parallel.units import (
     ExperimentUnit,
     canonical_config,
@@ -63,15 +75,20 @@ __all__ = [
     "CampaignResult",
     "CampaignStats",
     "ExperimentUnit",
+    "FUSE_MODES",
     "FiguresCampaign",
     "NullCache",
     "ResultCache",
     "canonical_config",
     "canonical_json",
     "canonicalise",
+    "cohort_key",
     "default_chunk_size",
+    "execute_cohort",
     "execute_unit",
     "figures_campaign_units",
+    "fusable",
+    "partition_pending",
     "parallel_map",
     "protocol_units",
     "record_from_payload",

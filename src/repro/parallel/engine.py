@@ -17,12 +17,31 @@ per-unit payloads are bit-identical to a serial run's, regardless of
 completion order.  ``benchmarks/bench_parallel.py`` (A20) asserts this
 on every run.
 
+Fusion (1.9.0): before anything reaches the pool, cache-miss units
+with a stacked closed form — scenario units under the four direct
+payment rules — are grouped into cohorts by ``(variant, n_machines)``
+and each cohort is evaluated in-process as one ``(U, n)`` broadcast
+(:mod:`repro.parallel.fusion`), bit-identical to ``execute_unit`` and
+scattered into the cache under unchanged keys.  ``fuse="auto"``
+(default) fuses cohorts of two or more units, ``"on"`` fuses every
+fusable unit, ``"off"`` restores the pure per-unit path.  Only the
+remaining *fallback* units (protocol, sharded, dynamics, or
+non-cohorted singletons) are chunked — chunk sizing is computed over
+that post-fusion miss count, never over the submitted total, so a
+warm or mostly-fused campaign does not fan near-empty chunks to the
+pool.
+
 Observability: the engine opens a ``campaign.run`` span, counts
 ``campaign.cache.hits`` / ``campaign.cache.misses``, records per-unit
 wall time into the ``campaign.unit.seconds`` histogram, and collects a
 ``campaign.unit`` span per computed unit (stamped with the worker PID)
 that :meth:`CampaignResult.export_worker_spans` writes as JSONL in the
-tracer's schema.
+tracer's schema.  Fused cohorts are counted by ``campaign.fused.*`` /
+``campaign.fallback.units`` and traced as ambient ``campaign.cohort``
+spans instead — a fused unit never produces a worker-side
+``campaign.unit`` span (there is no per-unit execution to trace), and
+its ``campaign.unit.seconds`` observation is its equal share of the
+cohort's wall time.
 """
 
 from __future__ import annotations
@@ -41,6 +60,7 @@ from repro.observability.instrumentation import (
     trace_span,
 )
 from repro.parallel.cache import NullCache, ResultCache
+from repro.parallel.fusion import FUSE_MODES, execute_cohort, partition_pending
 from repro.parallel.units import ExperimentUnit, execute_unit, unit_cache_key
 
 __all__ = [
@@ -176,6 +196,11 @@ class CampaignStats:
     chunks: int
     wall_seconds: float
     unit_seconds: tuple[float, ...]
+    #: Fusion accounting (1.9.0): how the cache misses were evaluated.
+    #: ``fused_units + fallback_units == cache_misses`` always holds.
+    fused_cohorts: int = 0
+    fused_units: int = 0
+    fallback_units: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -243,7 +268,17 @@ class CampaignEngine:
         When ``False`` the engine still *writes* results but never
         reads them — every unit recomputes (the CLI's ``--no-resume``).
     chunk_size:
-        Override the ``ceil(pending / (workers * 4))`` default.
+        Override the ``ceil(pending / (workers * 4))`` default.  Sizing
+        is always over the *post-fusion fallback* misses — the units
+        that actually go to the pool — never the submitted total.
+    fuse:
+        ``"auto"`` (default) evaluates cohorts of two or more
+        homogeneous closed-form misses as single stacked broadcasts,
+        ``"on"`` fuses every fusable miss (singletons included),
+        ``"off"`` keeps the pure per-unit path.  Fused payloads are
+        bit-identical to the per-unit ones and cached under the same
+        keys, so the setting never changes results or cache behaviour
+        — only how the misses are computed.
     """
 
     def __init__(
@@ -253,11 +288,14 @@ class CampaignEngine:
         cache: ResultCache | NullCache | str | os.PathLike | None = None,
         reuse_cache: bool = True,
         chunk_size: int | None = None,
+        fuse: str = "auto",
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if fuse not in FUSE_MODES:
+            raise ValueError(f"fuse must be one of {FUSE_MODES}, got {fuse!r}")
         self.workers = int(workers)
         if cache is None:
             cache = NullCache()
@@ -266,6 +304,7 @@ class CampaignEngine:
         self.cache = cache
         self.reuse_cache = bool(reuse_cache)
         self.chunk_size = chunk_size
+        self.fuse = fuse
 
     def run(self, units: Sequence[ExperimentUnit]) -> CampaignResult:
         """Evaluate every unit, serving cache hits and computing misses."""
@@ -277,8 +316,13 @@ class CampaignEngine:
         worker_spans: list[dict] = []
         hits = 0
 
-        with trace_span("campaign.run", n_units=len(units), workers=self.workers):
-            pending: list[tuple[int, dict]] = []
+        with trace_span(
+            "campaign.run",
+            n_units=len(units),
+            workers=self.workers,
+            fuse=self.fuse,
+        ):
+            pending: list[tuple[int, ExperimentUnit]] = []
             for index, (unit, key) in enumerate(zip(units, keys)):
                 cached = self.cache.get(key) if self.reuse_cache else None
                 if cached is not None:
@@ -286,13 +330,25 @@ class CampaignEngine:
                     hits += 1
                     record_counter("campaign.cache.hits")
                 else:
-                    pending.append((index, unit.as_config()))
+                    pending.append((index, unit))
             record_counter("campaign.cache.misses", len(pending))
 
-            chunks: list[Sequence[tuple[int, dict]]] = []
+            cohorts, fallback = partition_pending(pending, self.fuse)
+            fused_units = sum(len(cohort) for cohort in cohorts)
+            if cohorts:
+                record_counter("campaign.fused.cohorts", len(cohorts))
+                record_counter("campaign.fused.units", fused_units)
             if pending:
-                chunks = self._compute(pending, units, keys, payloads,
-                                       unit_seconds, worker_spans)
+                record_counter("campaign.fallback.units", len(fallback))
+            for cohort in cohorts:
+                self._compute_cohort(cohort, keys, payloads, unit_seconds)
+
+            chunks: list[Sequence[tuple[int, dict]]] = []
+            if fallback:
+                chunks = self._compute(
+                    [(index, unit.as_config()) for index, unit in fallback],
+                    units, keys, payloads, unit_seconds, worker_spans,
+                )
 
         stats = CampaignStats(
             n_units=len(units),
@@ -302,6 +358,9 @@ class CampaignEngine:
             chunks=len(chunks),
             wall_seconds=time.perf_counter() - started,
             unit_seconds=tuple(unit_seconds),
+            fused_cohorts=len(cohorts),
+            fused_units=fused_units,
+            fallback_units=len(fallback),
         )
         return CampaignResult(
             units=units,
@@ -313,6 +372,35 @@ class CampaignEngine:
 
     # ------------------------------------------------------------ internal
 
+    def _compute_cohort(
+        self,
+        cohort: list[tuple[int, ExperimentUnit]],
+        keys: tuple[str, ...],
+        payloads: list[dict | None],
+        unit_seconds: list[float],
+    ) -> None:
+        """Evaluate one fused cohort in-process and scatter its results.
+
+        The cohort's wall time is split equally across its units for
+        the ``campaign.unit.seconds`` accounting — there is no per-unit
+        execution to time individually.
+        """
+        members = [unit for _, unit in cohort]
+        start = time.perf_counter()
+        with trace_span(
+            "campaign.cohort",
+            units=len(members),
+            variant=members[0].variant,
+            n_machines=len(members[0].true_values),
+        ):
+            results = execute_cohort(members)
+        share = (time.perf_counter() - start) / len(members)
+        for (index, unit), payload in zip(cohort, results):
+            payloads[index] = payload
+            unit_seconds.append(share)
+            observe_value("campaign.unit.seconds", share)
+            self.cache.put(keys[index], payload, unit_config=unit.as_config())
+
     def _compute(
         self,
         pending: list[tuple[int, dict]],
@@ -322,6 +410,9 @@ class CampaignEngine:
         unit_seconds: list[float],
         worker_spans: list[dict],
     ) -> list[Sequence[tuple[int, dict]]]:
+        # Size pool work over what actually reaches the pool: the
+        # post-fusion fallback misses, never the submitted total — a
+        # warm or mostly-fused campaign must not fan near-empty chunks.
         workers = min(self.workers, len(pending))
         chunk_size = self.chunk_size or default_chunk_size(len(pending), workers)
         chunks = _chunked(pending, chunk_size)

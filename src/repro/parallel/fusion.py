@@ -1,0 +1,260 @@
+"""Fused campaign backend: evaluate whole unit cohorts in one broadcast.
+
+The 1.4.0–1.8.0 kernels made a single closed-form
+:class:`~repro.parallel.units.ExperimentUnit` almost free analytically,
+so a cold scenario campaign's wall-clock is dominated by *per-unit
+Python*: mechanism construction, validation, dataclass packaging,
+per-unit spans, and (with workers) pickling tiny units across the
+pool.  This module removes that tax.  Cache-miss units are grouped
+into **cohorts** — units that share a payment rule and a grid shape —
+and each cohort is evaluated as one stacked ``(U, n)`` NumPy
+computation instead of ``U`` independent
+:func:`~repro.parallel.units.execute_unit` calls.  The Table 2 grid,
+the tournament's manipulation sweep, generalization rows, and the
+figure campaigns all have exactly this shape.
+
+Cohort grouping rules (:func:`cohort_key`):
+
+* same ``variant`` — every unit in a cohort is scored by the same
+  payment formulas (observed / declared / vcg / archer-tardos);
+* same machine count ``n = len(true_values)`` — the cohort stacks into
+  a rectangular ``(U, n)`` block.
+
+Everything else (true values, bid/execution factors, coalitions,
+arrival rates) varies freely *within* a cohort: it stacks into rows
+and broadcast columns.  Units that are not closed-form — protocol and
+sharded replications (they simulate), and the ``dynamics`` variant
+(it iterates to a fixed point) — are not fusable
+(:func:`fusable`) and stay on the per-unit path.
+
+**Bit-parity is the contract**, not a tolerance: a fused payload is
+equal — every float, through ``repr`` and back — to the payload
+:func:`execute_unit` produces for the same unit, so cohort results
+scatter into the existing :class:`~repro.parallel.cache.ResultCache`
+under unchanged keys and warm-cache / ``--resume`` behaviour is
+untouched.  Two NumPy facts make exactness possible (asserted by
+``tests/parallel/test_fusion.py`` and re-asserted before every timing
+run of ``benchmarks/bench_campaign_fusion.py``):
+
+* reducing a C-contiguous ``(U, n)`` block along its last axis applies
+  the same pairwise summation to each row that ``row.sum()`` applies
+  to a lone vector, so the stacked ``S`` totals match the per-unit
+  ones bit for bit;
+* the batched matrix product ``(U, 1, n) @ (U, n, 1)`` runs the same
+  BLAS dot per row that ``np.dot(e, x**2)`` runs per unit, so realised
+  latencies match bit for bit (a plain ``(E * X).sum(axis=1)`` or
+  ``einsum`` would *not* — different reduction order).
+
+Every remaining operation is elementwise, and IEEE-754 elementwise
+arithmetic is deterministic regardless of how the operands are
+stacked.
+
+Validation note: fused cohorts skip :meth:`Mechanism.run`'s input
+checks on purpose.  ``ExperimentUnit.__post_init__`` already enforces
+strictly positive true values, ``bid_factor > 0``, and
+``execution_factor >= 1`` — which makes bids/executions positive and
+``t̃_i >= t_i`` true by construction, so none of the skipped checks
+can fire for a constructible unit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.parallel.units import ExperimentUnit
+
+__all__ = [
+    "FUSE_MODES",
+    "cohort_key",
+    "execute_cohort",
+    "fusable",
+    "partition_pending",
+]
+
+#: The engine's fusion settings: ``auto`` fuses cohorts of two or more
+#: units (a singleton gains nothing), ``on`` fuses every fusable unit,
+#: ``off`` keeps the pure per-unit path.
+FUSE_MODES = ("auto", "on", "off")
+
+#: Scenario variants with a stacked closed form.  ``dynamics`` is
+#: deliberately absent: it iterates best responses to a fixed point,
+#: so it has no single-broadcast evaluation.
+_FUSABLE_VARIANTS = ("observed", "declared", "vcg", "archer-tardos")
+
+
+def fusable(unit: ExperimentUnit) -> bool:
+    """Whether one unit can join a fused cohort.
+
+    True exactly for closed-form scenario units under the four
+    direct payment rules; protocol/sharded replications and the
+    iterated ``dynamics`` variant fall back to
+    :func:`~repro.parallel.units.execute_unit`.
+    """
+    return unit.kind == "scenario" and unit.variant in _FUSABLE_VARIANTS
+
+
+def cohort_key(unit: ExperimentUnit) -> tuple[str, int]:
+    """The homogeneity key: ``(variant, n_machines)``.
+
+    Units sharing a key are scored by the same payment formulas and
+    stack into one rectangular ``(U, n)`` block; everything else
+    (true values, factors, coalitions, arrival rates) varies freely
+    within a cohort.
+    """
+    return (unit.variant, len(unit.true_values))
+
+
+def partition_pending(
+    pending: Sequence[tuple[int, ExperimentUnit]],
+    mode: str = "auto",
+) -> tuple[list[list[tuple[int, ExperimentUnit]]], list[tuple[int, ExperimentUnit]]]:
+    """Split cache misses into fused cohorts and per-unit fallbacks.
+
+    ``pending`` is the engine's miss list as ``(submission index,
+    unit)`` pairs.  Returns ``(cohorts, fallback)`` with submission
+    order preserved inside every cohort and inside the fallback list —
+    so scatter order, cache writes, and the per-unit fallback chunks
+    are reproducible.
+
+    ``mode="auto"`` only fuses cohorts with at least two members
+    (fusing a singleton saves nothing and costs the unit its
+    per-unit span); ``mode="on"`` fuses every fusable unit;
+    ``mode="off"`` fuses nothing.
+    """
+    if mode not in FUSE_MODES:
+        raise ValueError(f"fuse must be one of {FUSE_MODES}, got {mode!r}")
+    if mode == "off":
+        return [], list(pending)
+    grouped: dict[tuple[str, int], list[tuple[int, ExperimentUnit]]] = {}
+    fallback: list[tuple[int, ExperimentUnit]] = []
+    for index, unit in pending:
+        if fusable(unit):
+            grouped.setdefault(cohort_key(unit), []).append((index, unit))
+        else:
+            fallback.append((index, unit))
+    cohorts: list[list[tuple[int, ExperimentUnit]]] = []
+    for members in grouped.values():
+        if mode == "auto" and len(members) < 2:
+            fallback.extend(members)
+        else:
+            cohorts.append(members)
+    # A stable fallback order regardless of how cohorts were rejected.
+    fallback.sort(key=lambda pair: pair[0])
+    return cohorts, fallback
+
+
+# ------------------------------------------------------------ evaluation
+
+
+def _stack_profiles(
+    units: Sequence[ExperimentUnit],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(true_values, bids, executions, rates)`` for one cohort.
+
+    Row ``k`` applies unit ``k``'s ``(bid_factor, execution_factor)``
+    to its coalition exactly as the per-unit ``_profile`` does — the
+    same in-place fancy-index multiply on a row view, so every entry
+    is bit-identical to the per-unit arrays.
+    """
+    true_values = np.array([unit.true_values for unit in units], dtype=np.float64)
+    bids = true_values.copy()
+    executions = true_values.copy()
+    for row, unit in enumerate(units):
+        liars = (
+            list(unit.manipulators)
+            if unit.manipulators is not None
+            else [unit.manipulator]
+        )
+        bids[row, liars] *= unit.bid_factor
+        executions[row, liars] *= unit.execution_factor
+    rates = np.array([unit.arrival_rate for unit in units], dtype=np.float64)
+    return true_values, bids, executions, rates
+
+
+def _row_dots(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Per-row dot products via one batched BLAS call.
+
+    ``(U, 1, n) @ (U, n, 1)`` dispatches the same dot kernel per row
+    that ``np.dot(left[k], right[k])`` uses, which is what makes the
+    stacked realised/declared latencies bit-identical to the per-unit
+    path (``einsum`` and ``(l * r).sum(axis=1)`` are not).
+    """
+    return (left[:, None, :] @ right[:, :, None])[:, 0, 0]
+
+
+def execute_cohort(units: Sequence[ExperimentUnit]) -> list[dict]:
+    """Evaluate one homogeneous cohort in a single stacked computation.
+
+    Every unit must share :func:`cohort_key`; the result is one payload
+    dict per unit, in input order, each equal to
+    ``execute_unit(unit)`` — same floats, same fields.
+    """
+    units = list(units)
+    if not units:
+        return []
+    keys = {cohort_key(unit) for unit in units}
+    if len(keys) > 1:
+        raise ValueError(f"cohort mixes incompatible units: {sorted(keys)}")
+    variant = units[0].variant
+    if not fusable(units[0]):
+        raise ValueError(f"variant {variant!r} has no fused evaluation")
+
+    _, bids, executions, rates = _stack_profiles(units)
+    rates_col = rates[:, None]
+
+    # PR allocation, stacked: one row per unit (Theorem 2.1).
+    inv = 1.0 / bids                                   # (U, n)
+    total_inv = inv.sum(axis=1, keepdims=True)         # (U, 1): S per unit
+    loads = rates_col * inv / total_inv                # (U, n)
+    declared_latency = rates**2 / total_inv[:, 0]      # (U,): R^2 / S
+    loads_sq = loads**2
+
+    # Payments, stacked.  ``excluded`` is every leave-one-out optimum
+    # L_{-i}^* = R^2 / S_{-i}; realised/declared totals go through the
+    # batched BLAS dot for bit-parity with the scalar np.dot calls.
+    s_minus = total_inv - inv                          # (U, n): S_{-i}
+    excluded = rates_col**2 / s_minus
+    realised = _row_dots(executions, loads_sq)         # (U,)
+
+    if variant in ("observed", "declared"):
+        compensation = (
+            executions * loads_sq if variant == "observed" else bids * loads_sq
+        )
+        bonus = excluded - realised[:, None]
+    elif variant == "vcg":
+        compensation = bids * loads_sq
+        bonus = excluded - _row_dots(bids, loads_sq)[:, None]
+    else:  # archer-tardos: work-integral bonus, closed form
+        compensation = bids * loads_sq
+        bonus = rates_col**2 / (s_minus * (bids * s_minus + 1.0))
+    valuation = -executions * loads_sq
+
+    payment = compensation + bonus
+    utility = payment + valuation
+    total_payment = payment.sum(axis=1)
+    total_valuation = np.abs(valuation).sum(axis=1)
+
+    payloads = []
+    for k in range(len(units)):
+        denom = float(total_valuation[k])
+        payloads.append(
+            {
+                "bids": bids[k].tolist(),
+                "execution_values": executions[k].tolist(),
+                "loads": loads[k].tolist(),
+                "declared_latency": float(declared_latency[k]),
+                "realised_latency": float(realised[k]),
+                "compensation": compensation[k].tolist(),
+                "bonus": bonus[k].tolist(),
+                "valuation": valuation[k].tolist(),
+                "payment": payment[k].tolist(),
+                "utility": utility[k].tolist(),
+                "frugality_ratio": (
+                    float("nan") if denom == 0.0
+                    else float(total_payment[k]) / denom
+                ),
+            }
+        )
+    return payloads

@@ -395,3 +395,75 @@ class TestSufficientStatisticsAll:
                 compensation="observed",
             )
             assert np.array_equal(broadcast[i], row)
+
+
+class TestBatchedUnitAxis:
+    """The (U, n) unit axis behind the fused campaign backend.
+
+    Contract: stacking units never changes a float — every row of the
+    batched aggregates, kernel surfaces, and argmax selections is
+    bit-identical to the corresponding single-unit call.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_stacked_statistics_match_per_unit_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(1, 12)), int(rng.integers(2, 10)))
+        bids = rng.uniform(0.3, 9.0, shape)
+        executions = bids * rng.uniform(1.0, 3.0, shape)
+        s_units, q_units = kernels.sufficient_statistics_units(bids, executions)
+        assert s_units.shape == q_units.shape == shape
+        for k in range(shape[0]):
+            s_row, q_row = kernels.sufficient_statistics_all(
+                bids[k], executions[k]
+            )
+            assert np.array_equal(s_units[k], s_row)
+            assert np.array_equal(q_units[k], q_row)
+
+    def test_executions_default_to_bids(self):
+        bids = np.array([[1.0, 2.0, 4.0], [0.5, 0.5, 3.0]])
+        assert np.array_equal(
+            kernels.sufficient_statistics_units(bids)[1],
+            kernels.sufficient_statistics_units(bids, bids)[1],
+        )
+
+    def test_rejects_non_matrix_and_shape_mismatch(self):
+        with pytest.raises(ValueError, match="matrix"):
+            kernels.sufficient_statistics_units(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="shape"):
+            kernels.sufficient_statistics_units(
+                np.ones((2, 3)), np.ones((2, 4))
+            )
+
+    @pytest.mark.parametrize("mode", KERNEL_MODES)
+    def test_per_unit_arrival_rates_broadcast_bit_identically(self, mode):
+        rng = np.random.default_rng(5)
+        bids = rng.uniform(0.3, 9.0, (9, 6))
+        executions = bids * rng.uniform(1.0, 2.0, bids.shape)
+        rates = rng.uniform(1.0, 25.0, (9, 1))
+        s_units, q_units = kernels.sufficient_statistics_units(
+            bids, executions
+        )
+        stacked = utility_kernel(
+            bids, executions, s_units, q_units, rates, mode=mode
+        )
+        for k in range(bids.shape[0]):
+            row = utility_kernel(
+                bids[k], executions[k], s_units[k], q_units[k],
+                float(rates[k, 0]), mode=mode,
+            )
+            assert np.array_equal(stacked[k], row)
+
+    def test_grid_argmax_units_shares_the_tie_break_contract(self):
+        rng = np.random.default_rng(11)
+        grids = rng.normal(size=(20, 5, 7))
+        grids[4] = 0.0                      # all-tied grid: first entry wins
+        grids[9, 2, :] = grids[9].max() + 1  # row of joint maxima
+        rows, cols = kernels.grid_argmax_units(grids)
+        for k in range(grids.shape[0]):
+            assert (int(rows[k]), int(cols[k])) == kernels.grid_argmax(grids[k])
+
+    def test_grid_argmax_units_rejects_non_stacked_input(self):
+        with pytest.raises(ValueError, match="units, executions, bids"):
+            kernels.grid_argmax_units(np.zeros((3, 4)))

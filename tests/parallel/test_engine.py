@@ -148,7 +148,9 @@ class TestObservability:
     def test_worker_spans_exported_jsonl(self, tmp_path, units):
         import json
 
-        result = CampaignEngine(workers=0).run(units)
+        # Worker-side campaign.unit spans are a per-unit-path contract:
+        # fused cohorts trace one ambient campaign.cohort span instead.
+        result = CampaignEngine(workers=0, fuse="off").run(units)
         destination = tmp_path / "spans.jsonl"
         count = result.export_worker_spans(destination)
         assert count == 8

@@ -252,9 +252,12 @@ class TestCampaign:
     def test_trace_exports_worker_spans(self, capsys, tmp_path):
         import json
 
+        # Worker-side campaign.unit spans are a per-unit-path contract;
+        # --fuse off keeps every unit on that path.
         path = tmp_path / "spans.jsonl"
         out = run_cli(
-            capsys, "campaign", "--no-cache", "--trace", str(path),
+            capsys, "campaign", "--no-cache", "--fuse", "off",
+            "--trace", str(path),
         )
         assert str(path) in out
         lines = path.read_text().splitlines()
