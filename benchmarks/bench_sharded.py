@@ -44,6 +44,8 @@ if __name__ == "__main__":  # standalone: make src/ importable without install
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
 SPEEDUP_TARGET = 3.0      # service rounds/sec vs monolithic, at GATE_N+
 GATE_N = 10_000           # smallest n where the >= 3x gate applies
 SHARDS = 4                # the gated configuration
@@ -235,6 +237,7 @@ def test_sharded_throughput_gate(record_result, record_json):
         ),
     )
     record_json("ablation_sharded", summary)
+    record_json("BENCH_sharded", summary)
 
 
 # ------------------------------------------------------------ standalone
@@ -251,10 +254,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
     )
+    parser.add_argument(
+        "--no-artifacts", action="store_true",
+        help="skip refreshing results/BENCH_sharded.json",
+    )
     args = parser.parse_args(argv)
 
     ns = SMOKE_NS if args.smoke else FULL_NS
     summary = measure_throughput(ns, shards=args.shards)
+
+    if not args.no_artifacts and not args.smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "BENCH_sharded.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
 
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))

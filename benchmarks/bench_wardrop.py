@@ -68,7 +68,7 @@ def test_linear_poa_is_one(benchmark, record_result):
     )
 
 
-def test_vectorized_sweep_agrees_and_speeds_up(record_result):
+def test_vectorized_sweep_agrees_and_speeds_up(record_result, record_json):
     """The vectorised grid sweep matches the per-point solver, faster."""
     config = table1_configuration()
     model = LinearLatencyModel(config.cluster.true_values)
@@ -102,4 +102,15 @@ def test_vectorized_sweep_agrees_and_speeds_up(record_result):
               f"{sweep_seconds * 1e3:.1f} ms", f"{speedup:.1f} x"]],
             title="A7b. Vectorised Wardrop/PoA sweep vs per-point bisection.",
         ),
+    )
+    record_json(
+        "BENCH_wardrop",
+        {
+            "grid_points": int(rates.size),
+            "per_point_seconds": loop_seconds,
+            "sweep_seconds": sweep_seconds,
+            "speedup": speedup,
+            "speedup_target": SWEEP_SPEEDUP_TARGET,
+            "max_price_of_anarchy": float(sweep.price_of_anarchy.max()),
+        },
     )

@@ -72,13 +72,14 @@ from repro.agents import (
     BiddingGame,
 )
 from repro.system import Cluster, paper_cluster, random_cluster, grouped_cluster
-from repro.protocol import run_protocol
+from repro.protocol import run_horizon, run_protocol
 from repro.analysis.wardrop import price_of_anarchy, wardrop_equilibrium
 from repro.distributed import DistributedVerificationMechanism
 from repro.dynamic import (
     GeometricRandomWalkDrift,
     RegimeSwitchDrift,
     RepeatedMechanismSimulation,
+    drift_sweep,
 )
 from repro.experiments import (
     table1_configuration,
@@ -92,7 +93,7 @@ from repro.experiments import (
     figure6_truthful_structure,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AllocationResult",
@@ -129,12 +130,14 @@ __all__ = [
     "random_cluster",
     "grouped_cluster",
     "run_protocol",
+    "run_horizon",
     "price_of_anarchy",
     "wardrop_equilibrium",
     "DistributedVerificationMechanism",
     "GeometricRandomWalkDrift",
     "RegimeSwitchDrift",
     "RepeatedMechanismSimulation",
+    "drift_sweep",
     "table1_configuration",
     "PAPER_SCENARIOS",
     "scenario_by_name",

@@ -231,6 +231,62 @@ class BestResponseDynamics:
             rounds=len(history) - 1,
         )
 
+    def run_path(
+        self,
+        rates: np.ndarray,
+        start_bids: np.ndarray | None = None,
+    ) -> GameTrace:
+        """Best-response dynamics along a nonstationary rate path.
+
+        One best-response round is played per entry of ``rates`` — pass
+        e.g. ``[schedule.mean_rate(k*d, (k+1)*d) for k in range(T)]``
+        to chase an :class:`~repro.system.workload.ArrivalSchedule`.
+        Unlike :meth:`run`, the dynamics never stop early: the target
+        moves every round, so all ``len(rates)`` rounds are played and
+        ``converged`` reports whether the *last* round left the profile
+        within tolerance (the dynamics kept up with the drift).
+        """
+        rates = as_float_array(rates, "rates")
+        check_positive(rates, "rates")
+        if rates.size < 1:
+            raise ValueError("rates must contain at least one round")
+        n = self.true_values.size
+        bids = (
+            self.true_values.copy()
+            if start_bids is None
+            else as_float_array(start_bids, "start_bids").copy()
+        )
+        if bids.size != n:
+            raise ValueError("start_bids must have one entry per agent")
+        check_positive(bids, "start_bids")
+
+        state = IncrementalStrategicState(bids)
+        history = [bids.copy()]
+        converged = False
+        for rate in rates:
+            previous = bids.copy()
+            for agent in range(n):
+                s_minus, q_minus = state.statistics_excluding(agent)
+                new_bid, _, _, _ = kernels.best_response_given_stats(
+                    s_minus,
+                    q_minus,
+                    float(self.true_values[agent]),
+                    float(rate),
+                    mode=self._mode,
+                    execution_cap_factor=self._execution_cap,
+                )
+                state.update(agent, new_bid)
+                bids[agent] = new_bid
+            history.append(bids.copy())
+            converged = bool(
+                np.max(np.abs(bids - previous) / previous) < self._tolerance
+            )
+        return GameTrace(
+            bid_history=np.array(history),
+            converged=converged,
+            rounds=len(history) - 1,
+        )
+
     def truthful_is_equilibrium(self) -> bool:
         """Whether no agent gains by deviating from the all-truthful profile."""
         state = IncrementalStrategicState(self.true_values)

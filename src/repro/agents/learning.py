@@ -135,6 +135,8 @@ def simulate_learning(
     learning_rate: float = 0.2,
     factors: np.ndarray | None = None,
     method: str = "auto",
+    arrival_schedule=None,
+    round_duration: float = 40.0,
 ) -> LearningTrace:
     """Run Hedge learners against each other through the mechanism.
 
@@ -150,6 +152,13 @@ def simulate_learning(
     per agent per round); ``"auto"`` (default) picks the kernel
     whenever the mechanism supports it — the verification mechanism,
     VCG, and Archer–Tardos all do.
+
+    ``arrival_schedule`` (any
+    :class:`~repro.system.workload.ArrivalSchedule`) makes the repeated
+    game nonstationary: round ``k`` is priced at the schedule's mean
+    rate over ``[k*round_duration, (k+1)*round_duration)`` instead of
+    the constant ``arrival_rate``, so learners chase a moving target —
+    the regime the horizon engine's drift sweeps benchmark.
     """
     if method not in ("auto", "bruteforce", "vectorized"):
         raise ValueError(f"unknown method {method!r}")
@@ -161,6 +170,18 @@ def simulate_learning(
     arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
     if rounds < 1:
         raise ValueError("rounds must be at least 1")
+    if arrival_schedule is None:
+        round_rates = np.full(rounds, arrival_rate)
+    else:
+        round_duration = check_positive_scalar(round_duration, "round_duration")
+        round_rates = np.array(
+            [
+                arrival_schedule.mean_rate(
+                    k * round_duration, (k + 1) * round_duration
+                )
+                for k in range(rounds)
+            ]
+        )
 
     n = true_values.size
     learners = [
@@ -176,7 +197,8 @@ def simulate_learning(
 
     for round_index in range(rounds):
         bids = np.array([learner.sample_bid() for learner in learners])
-        outcome = mechanism.run(bids, arrival_rate, true_values)
+        rate = float(round_rates[round_index])
+        outcome = mechanism.run(bids, rate, true_values)
         latencies[round_index] = outcome.realised_latency
 
         if method == "vectorized":
@@ -193,7 +215,7 @@ def simulate_learning(
                 true_values[:, None],
                 s_minus[:, None],
                 q_minus[:, None],
-                arrival_rate,
+                rate,
                 mode=mode,
             )
         else:
@@ -203,7 +225,7 @@ def simulate_learning(
                     candidate = bids.copy()
                     candidate[i] = factor * true_values[i]
                     counterfactual = mechanism.run(
-                        candidate, arrival_rate, true_values
+                        candidate, rate, true_values
                     )
                     all_utilities[i, k] = float(
                         counterfactual.payments.utility[i]

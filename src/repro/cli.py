@@ -109,8 +109,9 @@ def _cmd_figure(args: argparse.Namespace) -> str:
 
 _VARIANTS = ("observed", "declared", "vcg", "archer-tardos")
 # The campaign additionally offers closed-form best-response dynamics
-# (kernel-driven; see repro.agents.game.BestResponseDynamics).
-_CAMPAIGN_VARIANTS = _VARIANTS + ("dynamics",)
+# (kernel-driven; see repro.agents.game.BestResponseDynamics) and
+# stale-bid drift sweeps (repro.dynamic.drift.drift_sweep).
+_CAMPAIGN_VARIANTS = _VARIANTS + ("dynamics", "drift")
 
 
 def _mechanism_for(variant: str):
@@ -393,6 +394,7 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
         config.arrival_rate,
         duration=args.duration,
         rng=np.random.default_rng(args.seed),
+        horizon=args.horizon,
     )
     with instrumented() as instr:
         if args.campaign:
@@ -410,6 +412,18 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
             with tempfile.TemporaryDirectory() as cache_dir:
                 CampaignEngine(workers=0, cache=cache_dir).run(units)
                 CampaignEngine(workers=0, cache=cache_dir).run(units)
+        elif args.horizon:
+            # supervisor.run() routes through the fused engine; a chaos
+            # plan forces de-fusion boundaries so both horizon counters
+            # show up in the report.
+            plan = (
+                FaultPlan.generate(
+                    args.rounds, supervisor.machine_names, seed=args.seed
+                )
+                if args.chaos
+                else None
+            )
+            supervisor.run(args.rounds, plan)
         elif args.chaos:
             plan = FaultPlan.generate(
                 args.rounds, supervisor.machine_names, seed=args.seed
@@ -496,6 +510,10 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
 
     if args.campaign:
         workload = "figures campaign x2 (cold then warm cache)"
+    elif args.horizon:
+        workload = f"{args.rounds} horizon-fused rounds" + (
+            " under a chaos plan" if args.chaos else ""
+        )
     elif args.chaos:
         workload = f"{args.rounds} chaos campaign"
     else:
@@ -635,6 +653,88 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_horizon(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.agents import TruthfulAgent
+    from repro.experiments import render_table, table1_configuration
+    from repro.observability import instrumented
+    from repro.resilience import FaultPlan, RoundSupervisor
+    from repro.system.workload import (
+        PiecewiseConstantSchedule,
+        SinusoidalSchedule,
+    )
+
+    if args.rounds < 1:
+        raise ValueError(f"--rounds must be >= 1, got {args.rounds}")
+    config = table1_configuration()
+    true_values = config.cluster.true_values[: args.machines]
+    rate = config.arrival_rate
+    horizon_seconds = args.rounds * args.duration
+    if args.schedule == "sinusoidal":
+        schedule = SinusoidalSchedule(
+            rate, amplitude=0.5, period=max(horizon_seconds / 4.0, args.duration)
+        )
+    elif args.schedule == "piecewise":
+        schedule = PiecewiseConstantSchedule(
+            [0.0, horizon_seconds / 3.0, 2.0 * horizon_seconds / 3.0],
+            [0.75 * rate, 1.5 * rate, rate],
+        )
+    else:
+        schedule = None
+    supervisor = RoundSupervisor(
+        [TruthfulAgent(t) for t in true_values],
+        rate,
+        duration=args.duration,
+        rng=np.random.default_rng(args.seed),
+        arrival_schedule=schedule,
+        horizon=True,
+    )
+    plan = (
+        FaultPlan.generate(args.rounds, supervisor.machine_names, seed=args.seed)
+        if args.chaos
+        else None
+    )
+    with instrumented() as instr:
+        report = supervisor.run(args.rounds, plan)
+
+    counters = {
+        c["name"]: c["value"] for c in instr.metrics.snapshot()["counters"]
+    }
+    live = [r for r in report.rounds if not r.voided]
+    rates = [r.arrival_rate for r in report.rounds]
+    summary = {
+        "rounds": report.n_rounds,
+        "voided": report.n_voided,
+        "fused_rounds": int(counters.get("horizon.fused.rounds", 0)),
+        "defused_boundaries": int(
+            counters.get("horizon.defused.boundaries", 0)
+        ),
+        "jobs_routed": int(sum(r.jobs_routed for r in report.rounds)),
+        "alert_rounds": sum(1 for r in report.rounds if r.alerts),
+        "schedule": args.schedule,
+        "mean_round_rate": float(np.mean(rates)),
+        "min_round_rate": float(np.min(rates)),
+        "max_round_rate": float(np.max(rates)),
+        "mean_declared_latency": float(
+            np.mean([r.outcome.allocation.total_latency for r in live])
+        )
+        if live
+        else None,
+    }
+    if args.json:
+        return json.dumps(summary, indent=2, sort_keys=True)
+    rows = [[key, f"{value:g}" if isinstance(value, float) else value]
+            for key, value in summary.items()]
+    return render_table(
+        ["quantity", "value"],
+        rows,
+        title=f"Horizon-fused run: {args.rounds} rounds, "
+        f"{len(true_values)} machines, {args.schedule} schedule, "
+        f"seed {args.seed}" + (", chaos plan" if args.chaos else "") + ".",
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> str:
     import json
 
@@ -648,8 +748,10 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
 
     if args.seeds < 0:
         raise ValueError(f"--seeds must be >= 0, got {args.seeds}")
-    if args.variant == "dynamics" and args.seeds:
-        raise ValueError("--variant dynamics is closed-form only; drop --seeds")
+    if args.variant in ("dynamics", "drift") and args.seeds:
+        raise ValueError(
+            f"--variant {args.variant} is closed-form only; drop --seeds"
+        )
     if args.duration <= 0:
         raise ValueError(f"--duration must be positive, got {args.duration}")
     if args.shards < 1:
@@ -662,6 +764,17 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         variant=args.variant,
         shards=args.shards,
     )
+    if args.variant == "drift":
+        from dataclasses import replace
+
+        units = [
+            replace(
+                unit,
+                drift_rounds=args.drift_rounds,
+                drift_sigma=args.drift_sigma,
+            )
+            for unit in units
+        ]
     engine = CampaignEngine(
         workers=args.workers,
         cache=None if args.no_cache else args.cache_dir,
@@ -724,19 +837,40 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
         )
     ]
 
-    records = records_from_campaign(result)
-    optimum = records[0].total_latency  # True1
-    parts.append(
-        render_table(
-            ["experiment", "total latency", "degradation %"],
-            [
-                [r.scenario.name, r.total_latency,
-                 r.degradation_percent(optimum)]
-                for r in records
-            ],
-            title="Closed-form scenario results (Figure 1 series).",
+    if args.variant == "drift":
+        # Drift payloads summarise whole horizons, not single-round
+        # mechanism outcomes, so the Figure-1 record shape (and its
+        # shared optimum) does not apply.
+        parts.append(
+            render_table(
+                ["experiment", "mean degr %", "max degr %", "max BR gain"],
+                [
+                    [
+                        unit.scenario,
+                        f"{payload['mean_degradation_pct']:.2f}",
+                        f"{payload['max_degradation_pct']:.2f}",
+                        f"{payload['max_gain']:.4f}",
+                    ]
+                    for unit, payload in zip(units, result.payloads)
+                ],
+                title=f"Stale-bid drift sweeps: {args.drift_rounds} rounds "
+                f"at sigma={args.drift_sigma:g}, seed-reproducible.",
+            )
         )
-    )
+    else:
+        records = records_from_campaign(result)
+        optimum = records[0].total_latency  # True1
+        parts.append(
+            render_table(
+                ["experiment", "total latency", "degradation %"],
+                [
+                    [r.scenario.name, r.total_latency,
+                     r.degradation_percent(optimum)]
+                    for r in records
+                ],
+                title="Closed-form scenario results (Figure 1 series).",
+            )
+        )
     if args.trace is not None:
         parts.append(
             f"Exported {len(result.worker_spans)} worker spans to {args.trace}."
@@ -944,6 +1078,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a seeded fault plan (faults appear as span annotations)",
     )
     metrics.add_argument(
+        "--horizon", action="store_true",
+        help="drive the rounds through the horizon-fused engine so the "
+        "horizon.fused.rounds / horizon.defused.boundaries counters are "
+        "populated (combine with --chaos to force de-fusion boundaries)",
+    )
+    metrics.add_argument(
         "--campaign", action="store_true",
         help="instrument a figures campaign run twice against a scratch "
         "cache (cold then warm) so the campaign.cache.hits/misses "
@@ -1000,6 +1140,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.set_defaults(func=_cmd_reproduce)
 
+    horizon = sub.add_parser(
+        "horizon",
+        help="run a multi-round horizon through the fused engine "
+        "(optionally nonstationary and/or chaotic)",
+    )
+    horizon.add_argument("--rounds", type=int, default=200)
+    horizon.add_argument("--machines", type=int, default=8)
+    horizon.add_argument("--seed", type=int, default=0)
+    horizon.add_argument(
+        "--duration", type=float, default=40.0,
+        help="job-generation window per round (simulated seconds)",
+    )
+    horizon.add_argument(
+        "--schedule", choices=("constant", "piecewise", "sinusoidal"),
+        default="constant",
+        help="arrival-rate schedule R(t) over the horizon (constant keeps "
+        "the stationary Table 1 rate)",
+    )
+    horizon.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seeded fault plan (every faulted round de-fuses to "
+        "the sequential path)",
+    )
+    horizon.add_argument(
+        "--json", action="store_true",
+        help="emit the horizon summary as JSON",
+    )
+    horizon.set_defaults(func=_cmd_horizon)
+
     campaign = sub.add_parser(
         "campaign",
         help="run the figures campaign through the parallel engine + cache",
@@ -1019,7 +1188,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--variant", choices=_CAMPAIGN_VARIANTS, default="observed",
         help="mechanism variant the units evaluate ('dynamics' iterates "
-        "kernel-driven best responses from each scenario profile)",
+        "kernel-driven best responses from each scenario profile; "
+        "'drift' scores each profile as a stale-bid drifting horizon)",
+    )
+    campaign.add_argument(
+        "--drift-rounds", type=int, default=64, metavar="T",
+        help="horizon length of each drift unit (--variant drift only)",
+    )
+    campaign.add_argument(
+        "--drift-sigma", type=float, default=0.05,
+        help="per-epoch log-step of the drift walk (--variant drift only)",
     )
     campaign.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",

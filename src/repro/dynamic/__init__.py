@@ -17,12 +17,19 @@ ask*, trading staleness latency against control traffic.  The
 ``bench_dynamic.py`` ablation maps that trade-off.
 """
 
-from repro.dynamic.drift import GeometricRandomWalkDrift, RegimeSwitchDrift
+from repro.dynamic.drift import (
+    DriftSweepResult,
+    GeometricRandomWalkDrift,
+    RegimeSwitchDrift,
+    drift_sweep,
+)
 from repro.dynamic.rounds import EpochRecord, RepeatedMechanismSimulation
 
 __all__ = [
     "GeometricRandomWalkDrift",
     "RegimeSwitchDrift",
+    "DriftSweepResult",
+    "drift_sweep",
     "EpochRecord",
     "RepeatedMechanismSimulation",
 ]

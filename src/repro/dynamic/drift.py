@@ -1,12 +1,35 @@
-"""True-value drift processes for the repeated mechanism."""
+"""True-value drift processes for the repeated mechanism.
+
+Besides the drift processes themselves, :func:`drift_sweep` measures
+what a drifting horizon *costs*: machines bid once (round 0), their
+true speeds then wander, and every subsequent round is priced on the
+stale profile.  The whole horizon is scored as one stacked broadcast
+over the batched-unit kernel axis
+(:func:`repro.agents.kernels.sufficient_statistics_units` /
+:func:`repro.agents.kernels.grid_argmax_units`) — one row per round —
+so thousand-round sweeps cost a handful of NumPy calls.  This is the
+drift row of the A27 horizon bench and the ``repro campaign
+--variant drift`` backend.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro._validation import as_float_array, check_positive
+from repro._validation import (
+    as_float_array,
+    check_positive,
+    check_positive_scalar,
+)
 
-__all__ = ["GeometricRandomWalkDrift", "RegimeSwitchDrift"]
+__all__ = [
+    "GeometricRandomWalkDrift",
+    "RegimeSwitchDrift",
+    "DriftSweepResult",
+    "drift_sweep",
+]
 
 
 class GeometricRandomWalkDrift:
@@ -84,3 +107,187 @@ class RegimeSwitchDrift:
         lower, upper = self.t_range
         fresh = np.exp(self._rng.uniform(np.log(lower), np.log(upper), size=n))
         return np.where(switch, fresh, true_values)
+
+
+@dataclass(frozen=True)
+class DriftSweepResult:
+    """Per-round cost of routing a drifting horizon on stale bids.
+
+    All arrays share the round axis; ``best_response_gain`` and
+    ``best_response_factors`` add an agent axis.  Degradations are in
+    percent of the per-round optimum.
+    """
+
+    sigma: float
+    factors: np.ndarray  # (K,) candidate bid factors scanned per agent
+    rates: np.ndarray  # (rounds,) per-round arrival rate
+    degradation_pct: np.ndarray  # (rounds,) stale-vs-optimal latency gap
+    best_response_gain: np.ndarray  # (rounds, n) utility left on the table
+    best_response_factors: np.ndarray  # (rounds, n) arg-max bid factor
+
+    @property
+    def rounds(self) -> int:
+        """Number of drifted rounds scored."""
+        return int(self.degradation_pct.size)
+
+    @property
+    def n(self) -> int:
+        """Number of machines."""
+        return int(self.best_response_gain.shape[1])
+
+    @property
+    def mean_degradation_pct(self) -> float:
+        """Average stale-allocation latency gap over the horizon."""
+        return float(self.degradation_pct.mean())
+
+    @property
+    def max_degradation_pct(self) -> float:
+        """Worst single-round stale-allocation latency gap."""
+        return float(self.degradation_pct.max())
+
+    @property
+    def mean_gain(self) -> float:
+        """Average per-agent best-response gain over stale truthful bids."""
+        return float(self.best_response_gain.mean())
+
+    @property
+    def max_gain(self) -> float:
+        """Largest single-agent incentive to re-bid anywhere on the horizon."""
+        return float(self.best_response_gain.max())
+
+
+def drift_sweep(
+    true_values: np.ndarray,
+    arrival_rate: float,
+    *,
+    rounds: int = 64,
+    sigma: float = 0.05,
+    seed: int = 0,
+    mechanism=None,
+    scan_points: int = 17,
+    arrival_schedule=None,
+    round_duration: float = 40.0,
+    declared_bids=None,
+) -> DriftSweepResult:
+    """Score a stale-bid horizon under geometric drift in one broadcast.
+
+    Machines declare ``true_values`` once; thereafter their actual
+    speeds follow a :class:`GeometricRandomWalkDrift` with the given
+    ``sigma`` (seeded, so sweeps are reproducible) while every round
+    keeps routing on the round-0 declarations.  For each round the
+    sweep reports (a) the realised-vs-optimal latency degradation and
+    (b) every agent's best-response gain — how much utility the agent
+    could recover by re-bidding, scanned over ``scan_points``
+    log-spaced factors of its *current* truth via the closed-form
+    kernel.  The whole ``(rounds, n, K)`` tensor is evaluated with the
+    batched-unit kernels — no per-round mechanism runs.
+
+    ``arrival_schedule`` (any
+    :class:`~repro.system.workload.ArrivalSchedule`) makes the horizon
+    nonstationary: round ``k`` is priced at the schedule's mean rate
+    over ``[k*round_duration, (k+1)*round_duration)``; the kernel's
+    per-row rate column scores all rounds in the same single call.
+
+    ``declared_bids`` overrides the round-0 declaration set (default:
+    the truthful profile, i.e. ``true_values``) — this is how a
+    ``drift`` :class:`~repro.parallel.ExperimentUnit` scores a
+    manipulated stale profile; the drift trajectory always starts from
+    ``true_values``.
+    """
+    from repro.agents import kernels
+    from repro.mechanism import VerificationMechanism
+
+    if mechanism is None:
+        mechanism = VerificationMechanism()
+    mode = kernels.kernel_mode_of(mechanism)
+    stale = as_float_array(true_values, "true_values")
+    check_positive(stale, "true_values")
+    if stale.size < 2:
+        raise ValueError("drift_sweep requires at least two machines")
+    arrival_rate = check_positive_scalar(arrival_rate, "arrival_rate")
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    if scan_points < 2:
+        raise ValueError("scan_points must be at least 2")
+    n = stale.size
+    if declared_bids is None:
+        declared = stale
+    else:
+        declared = as_float_array(declared_bids, "declared_bids")
+        check_positive(declared, "declared_bids")
+        if declared.size != n:
+            raise ValueError("declared_bids must have one entry per machine")
+
+    drift = GeometricRandomWalkDrift(sigma, np.random.default_rng(seed))
+    trajectory = np.empty((rounds, n))
+    current = stale
+    for r in range(rounds):
+        current = drift.step(current)
+        trajectory[r] = current
+
+    if arrival_schedule is None:
+        rates = np.full(rounds, arrival_rate)
+    else:
+        round_duration = check_positive_scalar(round_duration, "round_duration")
+        rates = np.array(
+            [
+                arrival_schedule.mean_rate(
+                    r * round_duration, (r + 1) * round_duration
+                )
+                for r in range(rounds)
+            ]
+        )
+
+    # Stale allocation: loads follow the round-0 bids but scale with
+    # each round's rate; the optimum tracks the drifted truth.
+    inv_stale = 1.0 / declared
+    s_stale = float(inv_stale.sum())
+    realised = (rates**2 / s_stale**2) * (trajectory @ inv_stale**2)
+    optimal = rates**2 / (1.0 / trajectory).sum(axis=1)
+    degradation_pct = (realised - optimal) / optimal * 100.0
+
+    # Best-response scan: non-deviators keep their stale bids but
+    # execute at their current (drifted) capacity, so the leave-one-out
+    # statistics pair stale bids with drifted executions, one unit row
+    # per round.
+    bids_block = np.broadcast_to(declared, (rounds, n))
+    s_minus, q_minus = kernels.sufficient_statistics_units(
+        bids_block, trajectory
+    )
+    factors = np.geomspace(0.25, 4.0, scan_points)
+    candidates = trajectory[:, :, None] * factors[None, None, :]
+    utilities = kernels.utility_kernel(
+        candidates,
+        trajectory[:, :, None],
+        s_minus[:, :, None],
+        q_minus[:, :, None],
+        rates[:, None, None],
+        mode=mode,
+    )  # (rounds, n, K)
+    stale_utilities = kernels.utility_kernel(
+        bids_block,
+        trajectory,
+        s_minus,
+        q_minus,
+        rates[:, None],
+        mode=mode,
+    )  # (rounds, n)
+    _, cols = kernels.grid_argmax_units(
+        utilities.reshape(rounds * n, 1, scan_points)
+    )
+    best_factors = factors[cols].reshape(rounds, n)
+    best_utilities = np.take_along_axis(
+        utilities, cols.reshape(rounds, n, 1), axis=2
+    )[:, :, 0]
+    # Keeping the stale bid is always available, so a grid whose best
+    # candidate scores below it means "no profitable deviation found".
+    gains = np.maximum(best_utilities - stale_utilities, 0.0)
+
+    return DriftSweepResult(
+        sigma=float(sigma),
+        factors=factors,
+        rates=rates,
+        degradation_pct=degradation_pct,
+        best_response_gain=gains,
+        best_response_factors=best_factors,
+    )

@@ -21,6 +21,7 @@ the canonical config, so equivalent units share one cache entry.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from dataclasses import dataclass, fields
@@ -37,7 +38,7 @@ __all__ = [
 ]
 
 _KINDS = ("scenario", "protocol")
-_VARIANTS = ("observed", "declared", "vcg", "archer-tardos", "dynamics")
+_VARIANTS = ("observed", "declared", "vcg", "archer-tardos", "dynamics", "drift")
 
 
 @dataclass(frozen=True)
@@ -61,10 +62,14 @@ class ExperimentUnit:
     variant:
         Payment rule: ``observed`` / ``declared``
         (:class:`~repro.mechanism.VerificationMechanism`), ``vcg``,
-        ``archer-tardos``, or ``dynamics`` — iterated best response
+        ``archer-tardos``, ``dynamics`` — iterated best response
         under the observed-compensation mechanism starting from the
         unit's bid profile, driven by the closed-form kernel
-        (:class:`~repro.agents.game.BestResponseDynamics`).
+        (:class:`~repro.agents.game.BestResponseDynamics`) — or
+        ``drift`` — a stale-bid drifting horizon scored in one stacked
+        broadcast (:func:`repro.dynamic.drift.drift_sweep`), with the
+        unit's bid profile as the round-0 declarations and the truth
+        wandering for ``drift_rounds`` epochs at ``drift_sigma``.
     seed:
         RNG seed for protocol units (ignored by scenario units).
     manipulator:
@@ -94,6 +99,10 @@ class ExperimentUnit:
         payload fields agree exactly; only ``total_messages`` differs
         (the aggregation tree's count instead of the per-agent message
         count, which is the point).
+    drift_rounds, drift_sigma:
+        Horizon length and per-epoch log-step of a ``drift`` unit's
+        true-value random walk (ignored — and excluded from the cache
+        key — for every other variant).
     """
 
     kind: str
@@ -109,6 +118,8 @@ class ExperimentUnit:
     execution: str = "auto"
     shards: int = 1
     manipulators: tuple[int, ...] | None = None
+    drift_rounds: int = 64
+    drift_sigma: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -119,6 +130,12 @@ class ExperimentUnit:
             )
         if self.variant == "dynamics" and self.kind != "scenario":
             raise ValueError("the dynamics variant is closed-form only")
+        if self.variant == "drift" and self.kind != "scenario":
+            raise ValueError("the drift variant is closed-form only")
+        if self.drift_rounds < 1:
+            raise ValueError("drift_rounds must be at least 1")
+        if self.drift_sigma < 0.0:
+            raise ValueError("drift_sigma must be non-negative")
         values = tuple(float(t) for t in self.true_values)
         if len(values) < 2:
             raise ValueError("true_values needs at least two machines")
@@ -182,6 +199,13 @@ class ExperimentUnit:
             # Included only for coalition units, so every pre-existing
             # single-manipulator cache key is preserved.
             config["manipulators"] = list(self.manipulators)
+        if self.variant == "drift":
+            # Drift sweeps are seeded closed forms: the seed shapes the
+            # trajectory, so (unlike other scenario units) it joins the
+            # key — conditionally, preserving all pre-existing keys.
+            config["seed"] = self.seed
+            config["drift_rounds"] = self.drift_rounds
+            config["drift_sigma"] = self.drift_sigma
         if self.kind == "protocol":
             config["seed"] = self.seed
             config["duration"] = self.duration
@@ -247,16 +271,38 @@ def canonical_config(unit: ExperimentUnit) -> dict:
     return canonicalise(unit.as_config())  # type: ignore[return-value]
 
 
+@functools.lru_cache(maxsize=65536)
+def _canonical_config_bytes(unit: ExperimentUnit) -> bytes:
+    """Memoized canonical-JSON encoding of a unit's config.
+
+    Units are frozen (hashable), and campaigns hash the same unit once
+    per cache probe plus once per store — the A26 bench measured the
+    repeated canonicalisation at ~2/3 of the residual per-unit cost,
+    so the bytes are computed once per distinct unit per process.
+    """
+    return canonical_json(unit.as_config()).encode("utf-8")
+
+
 def unit_cache_key(unit: ExperimentUnit, *, version: str | None = None) -> str:
-    """SHA-256 hex key of the unit config plus the package version.
+    """256-bit BLAKE2b hex key of the unit config plus package version.
 
     The version is part of the key so a new release never serves
-    results computed by old code.
+    results computed by old code.  The hashed bytes are exactly
+    ``canonical_json({"config": unit.as_config(), "version": version})``
+    — the envelope is assembled around the memoized config bytes
+    (``"config"`` sorts before ``"version"``, so splicing preserves the
+    canonical form byte for byte; the key-stability test pins this).
     """
     if version is None:
         from repro import __version__ as version
-    envelope = {"config": unit.as_config(), "version": version}
-    return hashlib.sha256(canonical_json(envelope).encode("utf-8")).hexdigest()
+    payload = (
+        b'{"config":'
+        + _canonical_config_bytes(unit)
+        + b',"version":'
+        + canonical_json(version).encode("utf-8")
+        + b"}"
+    )
+    return hashlib.blake2b(payload, digest_size=32).hexdigest()
 
 
 # -------------------------------------------------------------- execution
@@ -271,9 +317,9 @@ def _mechanism_for(variant: str):
 
     if variant in ("observed", "declared"):
         return VerificationMechanism(variant)
-    if variant == "dynamics":
-        # Dynamics units iterate best responses under the observed-
-        # compensation rule and score the resulting fixed point.
+    if variant in ("dynamics", "drift"):
+        # Dynamics units iterate best responses (and drift units score
+        # stale-bid horizons) under the observed-compensation rule.
         return VerificationMechanism("observed")
     if variant == "vcg":
         return VCGMechanism()
@@ -322,6 +368,8 @@ def _execute_scenario(unit: ExperimentUnit) -> dict:
     mechanism = _mechanism_for(unit.variant)
     if unit.variant == "dynamics":
         return _execute_dynamics(unit, true_values, bids, mechanism)
+    if unit.variant == "drift":
+        return _execute_drift(unit, true_values, bids, mechanism)
     outcome = mechanism.run(
         bids, unit.arrival_rate, executions, true_values=true_values
     )
@@ -361,6 +409,49 @@ def _execute_dynamics(
         }
     )
     return payload
+
+
+def _execute_drift(
+    unit: ExperimentUnit,
+    true_values: np.ndarray,
+    stale_bids: np.ndarray,
+    mechanism,
+) -> dict:
+    """Score a stale-bid drifting horizon as one stacked broadcast.
+
+    The unit's bid profile is the round-0 declaration set; the truth
+    then follows a seeded geometric random walk for ``drift_rounds``
+    epochs while every round keeps routing on those stale bids
+    (:func:`repro.dynamic.drift.drift_sweep`).  The payload summarises
+    both the efficiency cost (latency degradation vs the per-round
+    optimum) and the incentive pressure (best-response gains).
+    """
+    from repro.dynamic.drift import drift_sweep
+
+    result = drift_sweep(
+        true_values,
+        unit.arrival_rate,
+        rounds=unit.drift_rounds,
+        sigma=unit.drift_sigma,
+        seed=unit.seed,
+        mechanism=mechanism,
+        declared_bids=stale_bids,
+    )
+    return {
+        "rounds": int(result.rounds),
+        "sigma": float(result.sigma),
+        "seed": int(unit.seed),
+        "stale_bids": stale_bids.tolist(),
+        "mean_degradation_pct": result.mean_degradation_pct,
+        "max_degradation_pct": result.max_degradation_pct,
+        "final_degradation_pct": float(result.degradation_pct[-1]),
+        "degradation_pct": result.degradation_pct.tolist(),
+        "mean_gain": result.mean_gain,
+        "max_gain": result.max_gain,
+        "mean_best_response_factor": float(
+            result.best_response_factors.mean()
+        ),
+    }
 
 
 def _execute_protocol(unit: ExperimentUnit) -> dict:

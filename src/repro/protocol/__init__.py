@@ -36,6 +36,7 @@ from repro.protocol.monitoring import (
     CusumSlowdownDetector,
     detection_delay,
 )
+from repro.protocol.horizon import fusible_round, run_horizon
 from repro.protocol.runtime import ProtocolResult, run_protocol
 
 __all__ = [
@@ -59,4 +60,6 @@ __all__ = [
     "detection_delay",
     "ProtocolResult",
     "run_protocol",
+    "fusible_round",
+    "run_horizon",
 ]

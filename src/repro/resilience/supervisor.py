@@ -65,7 +65,13 @@ from repro.resilience.retry import BackoffPolicy
 from repro.system.des import Simulator
 from repro.protocol.execution import dispatch_batched, resolve_execution
 from repro.system.machine import LinearLatencyMachine
-from repro.system.workload import PoissonWorkload, split_assignments, split_workload
+from repro.system.workload import (
+    ArrivalSchedule,
+    Job,
+    PoissonWorkload,
+    split_assignments,
+    split_workload,
+)
 from repro.types import AllocationResult, MechanismOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (chaos imports us)
@@ -583,6 +589,23 @@ class RoundSupervisor:
         instruments.  ``shard_executor`` picks the stage executor
         (``"serial"``, ``"async"``, or ``"process"``; bit-parity under
         stochastic service requires ``"serial"``).
+    arrival_schedule:
+        Optional nonstationary arrival process
+        (:class:`~repro.system.workload.ArrivalSchedule`).  When set,
+        round ``k`` draws its jobs by thinning over the absolute window
+        ``[k*duration, (k+1)*duration)`` and the allocator/mechanism see
+        the window's equivalent constant rate ``∫R/duration`` instead
+        of the fixed ``arrival_rate`` (which then only seeds the
+        attribute).  Clean rounds stay on the monolithic or fused path
+        — the sharded fast path assumes a stationary rate and is
+        skipped while a schedule is active.
+    horizon:
+        When true, :meth:`run` drives the horizon-fused engine
+        (:func:`repro.protocol.horizon.run_horizon`): maximal fault-free
+        segments are evaluated as stacked broadcasts, de-fusing to
+        :meth:`run_round` at every chaos/remediation event boundary,
+        with results bit-identical to the sequential loop on the same
+        seed.
     """
 
     def __init__(
@@ -605,6 +628,8 @@ class RoundSupervisor:
         remediation: "RemediationPipeline | None" = None,
         shards: int = 1,
         shard_executor: str = "serial",
+        arrival_schedule: "ArrivalSchedule | None" = None,
+        horizon: bool = False,
     ) -> None:
         if len(agents) < 2:
             raise ValueError("the supervisor needs at least two machines")
@@ -635,6 +660,8 @@ class RoundSupervisor:
         self.shards = int(shards)
         self.shard_executor = shard_executor
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.arrival_schedule = arrival_schedule
+        self.horizon = bool(horizon)
         for name in machine_names:
             self.quarantine.admit(name)
         self._allocator = _IncrementalAllocator()
@@ -668,10 +695,47 @@ class RoundSupervisor:
             and agent.execution_value() == agent.true_value
         }
 
+    def round_rate(self, index: int) -> float:
+        """The scalar arrival rate round ``index`` is priced at.
+
+        The fixed ``arrival_rate`` without a schedule; with one, the
+        window's equivalent constant rate ``∫R / duration`` over
+        ``[index*duration, (index+1)*duration)``.
+        """
+        if self.arrival_schedule is None:
+            return self.arrival_rate
+        start = index * self.duration
+        return float(
+            self.arrival_schedule.mean_rate(start, start + self.duration)
+        )
+
+    def _generate_times(self, index: int) -> np.ndarray:
+        """Round ``index``'s arrival times (relative to the round start).
+
+        The single generation point both the sequential round and the
+        horizon-fused engine call, so the two paths consume the RNG
+        stream identically draw for draw.
+        """
+        if self.arrival_schedule is None:
+            workload = PoissonWorkload(self.arrival_rate, self._rng)
+            return workload.generate_times(self.duration)
+        return self.arrival_schedule.generate_times(
+            self._rng, index * self.duration, self.duration
+        )
+
     # ------------------------------------------------------------ rounds
 
     def run(self, n_rounds: int, fault_plan=None) -> SupervisorReport:
-        """Drive ``n_rounds`` rounds, optionally under a fault plan."""
+        """Drive ``n_rounds`` rounds, optionally under a fault plan.
+
+        With ``horizon=True`` the rounds run through the horizon-fused
+        engine (same results bit for bit, de-fusing at fault
+        boundaries); otherwise one :meth:`run_round` per iteration.
+        """
+        if self.horizon:
+            from repro.protocol.horizon import run_horizon
+
+            return run_horizon(self, n_rounds, fault_plan)
         if n_rounds < 1:
             raise ValueError("n_rounds must be at least 1")
         report = SupervisorReport()
@@ -795,6 +859,7 @@ class RoundSupervisor:
         """The round body :meth:`run_round` wraps with instrumentation."""
         index = self._round_index
         self._round_index += 1
+        rate = self.round_rate(index)
 
         admitted = self.quarantine.begin_round()
         probes = [
@@ -837,7 +902,7 @@ class RoundSupervisor:
                 bid_retries=bid_retries,
                 report_retries=0,
                 coordinator_restarts=restarts,
-                arrival_rate=self.arrival_rate,
+                arrival_rate=rate,
                 jobs_routed=0,
             )
 
@@ -858,6 +923,7 @@ class RoundSupervisor:
             and not machine_faults
             and drop == 0.0
             and coordinator_crash is None
+            and self.arrival_schedule is None
         ):
             # Clean rounds shard; faulted rounds need the message-driven
             # path (drops, crashes, and probes live in the network
@@ -908,10 +974,9 @@ class RoundSupervisor:
             names = current["coordinator"].machine_names
             for name, load in zip(names, loads):
                 nodes[name].machine.configure(float(load))
-            workload = PoissonWorkload(self.arrival_rate, self._rng)
             start = sim.now
+            times = self._generate_times(index)
             if self.execution == "batched":
-                times = workload.generate_times(self.duration)
                 assignments = split_assignments(
                     int(times.size), loads / loads.sum(), self._rng
                 )
@@ -922,7 +987,10 @@ class RoundSupervisor:
                     assignments,
                 )
                 return
-            jobs = workload.generate(self.duration)
+            jobs = [
+                Job(job_id=i, arrival_time=float(t))
+                for i, t in enumerate(times)
+            ]
             jobs_routed = len(jobs)
             buckets = split_workload(jobs, loads / loads.sum(), self._rng)
             for name, bucket in zip(names, buckets):
@@ -937,7 +1005,7 @@ class RoundSupervisor:
         coordinator = SupervisedCoordinator(
             mechanism=self.mechanism,
             machine_names=list(admitted),
-            arrival_rate=self.arrival_rate,
+            arrival_rate=rate,
             network=network,
             on_allocated=on_allocated,
             allocator=self._allocator.allocate,
@@ -1110,6 +1178,6 @@ class RoundSupervisor:
             bid_retries=bid_retries,
             report_retries=report_retries,
             coordinator_restarts=restarts,
-            arrival_rate=self.arrival_rate,
+            arrival_rate=rate,
             jobs_routed=jobs_routed,
         )

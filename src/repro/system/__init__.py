@@ -13,6 +13,10 @@ from repro.system.workload import (
     Job,
     PoissonWorkload,
     DeterministicWorkload,
+    ArrivalSchedule,
+    ConstantSchedule,
+    PiecewiseConstantSchedule,
+    SinusoidalSchedule,
     split_workload,
 )
 from repro.system.des import Event, EventQueue, Simulator
@@ -35,6 +39,10 @@ __all__ = [
     "Job",
     "PoissonWorkload",
     "DeterministicWorkload",
+    "ArrivalSchedule",
+    "ConstantSchedule",
+    "PiecewiseConstantSchedule",
+    "SinusoidalSchedule",
     "split_workload",
     "Event",
     "EventQueue",

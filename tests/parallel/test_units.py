@@ -157,7 +157,7 @@ class TestCanonicalise:
 
 
 class TestCacheKey:
-    def test_key_is_hex_sha256(self):
+    def test_key_is_hex_blake2b_256(self):
         key = unit_cache_key(paper_unit())
         assert len(key) == 64
         int(key, 16)  # parses as hex
@@ -167,6 +167,49 @@ class TestCacheKey:
         assert unit_cache_key(unit, version="1.0.0") != unit_cache_key(
             unit, version="1.0.1"
         )
+
+    def test_key_matches_unspliced_canonical_envelope(self):
+        # The fast path memoizes the config encoding and splices it into
+        # the {"config": ..., "version": ...} envelope byte-wise. Pin it
+        # against the naive construction: canonicalise the whole
+        # envelope, then hash — the two must never diverge, or warm
+        # caches silently go cold on upgrade.
+        import hashlib
+
+        import repro
+
+        for unit in (
+            paper_unit(),
+            paper_unit(variant="drift", seed=5),
+            paper_unit(kind="protocol", seed=7, duration=25.0),
+        ):
+            # version=None resolves to the package version inside the key.
+            for version in (repro.__version__, "9.9.9"):
+                envelope = {
+                    "config": unit.as_config(),
+                    "version": version,
+                }
+                expected = hashlib.blake2b(
+                    canonical_json(envelope).encode("utf-8"), digest_size=32
+                ).hexdigest()
+                assert unit_cache_key(unit, version=version) == expected
+                if version == repro.__version__:
+                    assert unit_cache_key(unit) == expected
+
+    def test_config_encoding_is_memoized_per_unit(self):
+        from repro.parallel.units import _canonical_config_bytes
+
+        unit = paper_unit(kind="protocol", seed=11)
+        before = _canonical_config_bytes.cache_info()
+        unit_cache_key(unit)
+        unit_cache_key(unit)
+        after = _canonical_config_bytes.cache_info()
+        assert after.hits >= before.hits + 1
+        # Memoization must not leak across distinct configs (the seed is
+        # part of a protocol unit's config, unlike a scenario unit's).
+        assert unit_cache_key(
+            paper_unit(kind="protocol", seed=12)
+        ) != unit_cache_key(unit)
 
     def test_any_result_affecting_field_changes_the_key(self):
         base = unit_cache_key(paper_unit())

@@ -1,0 +1,33 @@
+"""The three version declarations must agree (tools/check_versions.py).
+
+CI runs the tool directly in the docs job; this test keeps the same
+invariant inside the tier-1 suite so a version bump can never land
+half-done.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import repro
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_versions.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_versions", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_version_declarations_agree():
+    checker = _load_checker()
+    assert checker.check() == []
+
+
+def test_textual_parse_matches_the_imported_package():
+    # The tool parses the file textually (it must work pre-install);
+    # the parse must agree with what Python actually imports.
+    assert _load_checker().init_version() == repro.__version__

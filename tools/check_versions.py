@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check that the repo's three version declarations agree.
+
+The release version is stated in three places that drift easily:
+
+* ``src/repro/__init__.py`` — ``__version__`` (the runtime truth, and
+  the value baked into every campaign cache key);
+* ``pyproject.toml`` — ``version = "..."`` under ``[project]``;
+* ``CHANGELOG.md`` — the topmost ``## <version> — <date>`` heading.
+
+Run from the repo root (CI runs it in the docs job)::
+
+    python tools/check_versions.py
+
+Exits non-zero with one line per mismatch.  No third-party imports:
+the files are parsed textually so the check works before any install.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def init_version() -> str:
+    """``__version__`` as literally assigned in src/repro/__init__.py."""
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise SystemExit("src/repro/__init__.py: no __version__ assignment")
+    return match.group(1)
+
+
+def pyproject_version() -> str:
+    """The ``version = "..."`` entry of pyproject.toml's [project] table."""
+    text = (ROOT / "pyproject.toml").read_text()
+    match = re.search(r'^version = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise SystemExit("pyproject.toml: no version entry")
+    return match.group(1)
+
+
+def changelog_version() -> str:
+    """The version of the topmost ``## <version> — <date>`` heading."""
+    text = (ROOT / "CHANGELOG.md").read_text()
+    match = re.search(r"^## ([0-9][^\s]*)", text, re.MULTILINE)
+    if match is None:
+        raise SystemExit("CHANGELOG.md: no '## <version>' heading")
+    return match.group(1)
+
+
+def check() -> list[str]:
+    """One message per disagreement; empty = consistent."""
+    versions = {
+        "src/repro/__init__.py": init_version(),
+        "pyproject.toml": pyproject_version(),
+        "CHANGELOG.md (latest entry)": changelog_version(),
+    }
+    reference_source, reference = next(iter(versions.items()))
+    return [
+        f"{source} says {found!r} but {reference_source} says {reference!r}"
+        for source, found in versions.items()
+        if found != reference
+    ]
+
+
+def main() -> int:
+    failures = check()
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"versions consistent: {init_version()}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
